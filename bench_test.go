@@ -1,0 +1,203 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (see DESIGN.md's experiment index):
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark runs the corresponding experiment at paper scale
+// (180 s captures) and prints the rows/series the paper reports on its
+// first iteration, so a bench run doubles as the reproduction log
+// recorded in EXPERIMENTS.md.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchOpts is the paper-scale configuration: 180 s captures, a
+// handful of videos per cell (the distributions stabilize quickly; the
+// cmd/vsweep tool runs larger samples).
+func benchOpts() experiments.Options {
+	return experiments.Options{N: 8, Seed: 1}
+}
+
+var printOnce sync.Map
+
+// emit prints an artifact once per benchmark name.
+func emit(b *testing.B, artifact fmt.Stringer) {
+	if _, loaded := printOnce.LoadOrStore(b.Name(), true); !loaded {
+		fmt.Print(artifact.String())
+		fmt.Println()
+	}
+}
+
+func BenchmarkTable1StrategyMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table1(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkTable2StrategyComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkFigure1Phases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure1(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkFigure2ShortOnOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure2(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkFigure3Buffering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure3(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkFigure4FlashSteadyState(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure4(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkFigure5Html5SteadyState(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure5(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkFigure6LongOnOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure6(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkFigure7IPad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure7(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkFigure8NoOnOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure8(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkFigure9AckClock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure9(benchOpts(), false)
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkFigure10NetflixStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure10(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkFigure11NetflixBuffering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure11(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkFigure12NetflixBlocks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure12(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkModelAggregate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.ModelAggregate(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkModelSmoothness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.ModelSmoothness(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkModelInterruptionThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.ModelInterruption(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkModelWaste(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.ModelWaste(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkAblationIdleReset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationIdleReset(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkAblationDelayedAck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationDelayedAck(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkAblationRecvBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationRecvBuffer(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkAblationLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationLoss(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkExtensionAggregateLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AggregateLoss(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkExtensionFluidCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AggregateFluidCheck(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}

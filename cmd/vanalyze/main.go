@@ -1,0 +1,94 @@
+// Command vanalyze applies the paper's trace analysis to an existing
+// libpcap capture (one produced by vsession, or by tcpdump with the
+// raw-IP link type): phase detection, block sizes, accumulation ratio
+// and strategy classification.
+//
+// Usage:
+//
+//	vanalyze -client 10.0.0.1 [-duration 300] session.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+func main() {
+	client := flag.String("client", "10.0.0.1", "client (vantage) IPv4 address")
+	duration := flag.Float64("duration", 0, "video duration in seconds (for the WebM rate fallback)")
+	rate := flag.Float64("rate", 0, "known encoding rate in Mbps (optional)")
+	verbose := flag.Bool("v", false, "print every ON-OFF cycle")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatalf("usage: vanalyze [flags] capture.pcap")
+	}
+	addr, err := parseIPv4(*client)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+
+	cfg := analysis.Config{
+		KnownDuration: time.Duration(*duration * float64(time.Second)),
+		KnownRate:     *rate * 1e6,
+	}
+	a, err := core.ClassifyPcap(f, addr, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("strategy          : %s\n", a.Strategy)
+	fmt.Printf("connections       : %d\n", a.ConnCount)
+	fmt.Printf("total downstream  : %.2f MB over %.1f s\n", float64(a.TotalBytes)/1e6, a.Duration.Seconds())
+	fmt.Printf("buffering phase   : %.2f s, %.2f MB\n", a.BufferingEnd.Seconds(), float64(a.BufferedBytes)/1e6)
+	if a.HasSteadyState {
+		fmt.Printf("steady state      : %d blocks, median %.0f kB, rate %.2f Mbps\n",
+			len(a.Blocks), float64(a.MedianBlock())/1e3, a.SteadyRate/1e6)
+	}
+	if a.Media.EncodingRate > 0 {
+		fmt.Printf("encoding rate     : %.2f Mbps (source: %s, container: %s)\n",
+			a.Media.EncodingRate/1e6, a.Media.RateSource, a.Media.Container)
+	}
+	if a.AccumulationRatio > 0 {
+		fmt.Printf("accumulation ratio: %.2f\n", a.AccumulationRatio)
+	}
+	fmt.Printf("retransmissions   : %d/%d data segments (%.2f%%)\n", a.Retrans, a.DataSegs, a.RetransRate*100)
+	fmt.Printf("estimated RTT     : %v\n", a.RTT)
+	if *verbose {
+		for i, c := range a.Cycles {
+			fmt.Printf("cycle %3d: %8.3fs..%8.3fs %10d bytes, OFF %v\n",
+				i, c.Start.Seconds(), c.End.Seconds(), c.Bytes, c.OffAfter)
+		}
+	}
+}
+
+func parseIPv4(s string) ([4]byte, error) {
+	var out [4]byte
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return out, fmt.Errorf("bad IPv4 %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return out, fmt.Errorf("bad IPv4 %q", s)
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vanalyze: "+format+"\n", args...)
+	os.Exit(1)
+}

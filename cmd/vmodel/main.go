@@ -1,0 +1,57 @@
+// Command vmodel evaluates the Section 6 analytical model: network
+// dimensioning for an expected video mix and wasted bandwidth under
+// viewer interruptions.
+//
+// Usage:
+//
+//	vmodel -lambda 0.5 -rate 1.0 -duration 240 -downrate 10 -alpha 2
+//	vmodel -waste -buffer 40 -accum 1.25 -beta 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+func main() {
+	lambda := flag.Float64("lambda", 0.5, "session arrival rate (sessions/second)")
+	rate := flag.Float64("rate", 1.0, "mean encoding rate E[e] in Mbps")
+	duration := flag.Float64("duration", 240, "mean video duration E[L] in seconds")
+	downrate := flag.Float64("downrate", 10, "mean ON-period download rate E[G] in Mbps")
+	alpha := flag.Float64("alpha", 2, "provisioning headroom multiplier")
+	waste := flag.Bool("waste", false, "also evaluate the interruption-waste model")
+	buffer := flag.Float64("buffer", 40, "buffered playback B' in seconds (waste model)")
+	accum := flag.Float64("accum", 1.25, "accumulation ratio k (waste model)")
+	beta := flag.Float64("beta", 0.2, "watched fraction before interruption (waste model)")
+	flag.Parse()
+
+	p := model.Params{
+		Lambda:       *lambda,
+		MeanRate:     *rate * 1e6,
+		MeanDuration: *duration,
+		MeanDownRate: *downrate * 1e6,
+	}
+	mean := model.MeanAggregate(p)
+	variance := model.VarAggregate(p)
+	fmt.Printf("parameters     : %s\n", p)
+	fmt.Printf("E[R]           : %.2f Mbps (eq. 3)\n", mean/1e6)
+	fmt.Printf("Std[R]         : %.2f Mbps (eq. 4)\n", math.Sqrt(variance)/1e6)
+	fmt.Printf("CoV            : %.3f\n", model.CoV(p))
+	fmt.Printf("link dimension : %.2f Mbps (E[R] + %.1f sigma)\n", model.Dimension(p, *alpha)/1e6, *alpha)
+
+	if *waste {
+		fmt.Println()
+		th := model.InterruptionThreshold(*buffer, *accum, *beta)
+		fmt.Printf("full-download threshold (eq. 7): videos shorter than %.1f s download entirely\n", th)
+		w := model.WasteRate(*lambda, 10000, func(i int) model.Session {
+			return model.Session{
+				Rate: *rate * 1e6, Duration: *duration,
+				Buffer: *buffer, Accum: *accum, Beta: *beta,
+			}
+		})
+		fmt.Printf("wasted bandwidth E[R'] (eq. 9) : %.2f Mbps (%.1f%% of E[R])\n", w/1e6, 100*w/mean)
+	}
+}

@@ -1,0 +1,117 @@
+// Command vsession runs one simulated streaming session — the
+// equivalent of the paper's "start tcpdump, load the video URL, stop
+// after 180 seconds" loop — and writes the capture plus an analysis
+// summary.
+//
+// Usage:
+//
+//	vsession -app flash-ie -network Research -rate 1.0 -dur 300 \
+//	         -capture 180 -pcap session.pcap -csv series.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/media"
+	"repro/internal/netem"
+)
+
+func main() {
+	app := flag.String("app", "flash-ie", "application (see -list)")
+	network := flag.String("network", "Research", "vantage network: Research, Residence, Academic, Home")
+	rate := flag.Float64("rate", 1.0, "video encoding rate in Mbps")
+	dur := flag.Float64("dur", 300, "video duration in seconds")
+	capture := flag.Float64("capture", 180, "capture duration in seconds")
+	seed := flag.Int64("seed", 1, "random seed")
+	pcapPath := flag.String("pcap", "", "write the capture to this pcap file")
+	csvPath := flag.String("csv", "", "write the cumulative download series to this CSV file")
+	list := flag.Bool("list", false, "list application keys and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range core.Applications() {
+			fmt.Println(a)
+		}
+		return
+	}
+	prof, ok := netem.ProfileByName(*network)
+	if !ok {
+		fatalf("unknown network %q", *network)
+	}
+	container := media.Flash
+	resolution := "360p"
+	switch *app {
+	case "html5-ie", "html5-firefox", "html5-chrome", "youtube-android", "youtube-ipad":
+		container = media.HTML5
+	case "netflix-pc", "netflix-ipad", "netflix-android":
+		container = media.Silverlight
+		resolution = "adaptive"
+	}
+	v := media.Video{
+		ID:           1,
+		Title:        "cli-video",
+		EncodingRate: *rate * 1e6,
+		Duration:     time.Duration(*dur * float64(time.Second)),
+		Container:    container,
+		Resolution:   resolution,
+	}
+	res, err := core.Stream(core.StreamConfig{
+		Video: v, App: core.Application(*app), Network: prof,
+		Seed: *seed, DurationSeconds: *capture,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	a := res.Analysis
+	fmt.Printf("session : %s on %s, %s\n", *app, prof.Name, v)
+	fmt.Printf("capture : %d packets, %.2f MB down, %d connections\n",
+		res.Trace.Len(), float64(a.TotalBytes)/1e6, a.ConnCount)
+	fmt.Printf("result  : %s\n", a)
+
+	if *pcapPath != "" {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			fatalf("creating pcap: %v", err)
+		}
+		if err := res.WritePcap(f); err != nil {
+			fatalf("writing pcap: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing pcap: %v", err)
+		}
+		fmt.Printf("pcap    : %s\n", *pcapPath)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatalf("creating csv: %v", err)
+		}
+		w := csv.NewWriter(f)
+		_ = w.Write([]string{"t_seconds", "bytes"})
+		for _, p := range res.Trace.DownloadSeries() {
+			_ = w.Write([]string{
+				strconv.FormatFloat(p.TS.Seconds(), 'f', 6, 64),
+				strconv.FormatInt(p.Bytes, 10),
+			})
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			fatalf("writing csv: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing csv: %v", err)
+		}
+		fmt.Printf("csv     : %s\n", *csvPath)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vsession: "+format+"\n", args...)
+	os.Exit(1)
+}

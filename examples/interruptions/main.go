@@ -1,0 +1,103 @@
+// Interruptions studies the Section 6.2 question: when viewers abandon
+// videos early (60% of YouTube videos are watched for less than 20% of
+// their duration, per Finamore et al.), how many downloaded bytes are
+// wasted under each streaming strategy — measured on simulated traffic
+// AND predicted by the eq. 8-9 model.
+//
+//	go run ./examples/interruptions
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/media"
+	"repro/internal/model"
+	"repro/internal/netem"
+)
+
+func main() {
+	fmt.Println("=== wasted bytes under lack-of-interest interruptions (Section 6.2) ===")
+	fmt.Println()
+
+	// Worked example (eq. 7): with YouTube Flash parameters, videos
+	// shorter than ~53 s are fully downloaded even by viewers who quit
+	// after 20%.
+	th := core.FullDownloadThreshold(40, 1.25, 0.2)
+	fmt.Printf("eq. 7 worked example: B'=40 s, k=1.25, beta=0.2 -> L = %.1f s (paper: 53.3 s)\n\n", th)
+
+	// Measured waste: stream the same 400 s video with each strategy
+	// and interrupt at 20% of the duration.
+	video := media.Video{ID: 300, EncodingRate: 1.2e6, Duration: 400 * time.Second, Container: media.HTML5, Resolution: "360p"}
+	flashVideo := video
+	flashVideo.Container = media.Flash
+	cut := 80.0 // 20% of 400 s
+	watched := video.EncodingRate / 8 * cut
+
+	fmt.Printf("measured on simulated sessions (interrupt at %.0f s):\n", cut)
+	fmt.Printf("%-34s %-14s %-12s\n", "application", "downloaded", "wasted MB")
+	cases := []struct {
+		label string
+		app   core.Application
+		video media.Video
+	}{
+		{"Firefox/HTML5 (no ON-OFF)", core.HTML5Firefox, video},
+		{"Chrome/HTML5 (long ON-OFF)", core.HTML5Chrome, video},
+		{"Flash (short ON-OFF)", core.FlashIE, flashVideo},
+	}
+	for i, c := range cases {
+		res, err := core.Stream(core.StreamConfig{
+			Video: c.video, App: c.app, Network: netem.Research,
+			Seed: int64(20 + i), DurationSeconds: cut,
+		})
+		if err != nil {
+			panic(err)
+		}
+		total := float64(res.Analysis.TotalBytes)
+		waste := total - watched
+		if waste < 0 {
+			waste = 0
+		}
+		fmt.Printf("%-34s %-14.1f %-12.1f\n", c.label, total/1e6, waste/1e6)
+	}
+	fmt.Println()
+
+	// Model prediction over a realistic abandonment population.
+	fmt.Println("model prediction (eqs. 8-9, lambda = 0.5/s, Finamore-style betas):")
+	rng := rand.New(rand.NewSource(9))
+	n := 8000
+	type pick struct{ rate, dur, beta float64 }
+	pop := make([]pick, n)
+	for i := range pop {
+		beta := rng.Float64() * 0.2
+		if rng.Float64() > 0.6 {
+			beta = 0.2 + rng.Float64()*0.8
+		}
+		pop[i] = pick{rate: 0.2e6 + rng.Float64()*1.3e6, dur: 60 + rng.Float64()*540, beta: beta}
+	}
+	for _, c := range []struct {
+		label  string
+		buffer func(pick) float64
+		accum  float64
+	}{
+		{"short ON-OFF (B'=40 s, k=1.25)", func(pick) float64 { return 40 }, 1.25},
+		{"long ON-OFF  (B'~12 MB, k=1.34)", func(p pick) float64 { return 12e6 * 8 / p.rate }, 1.34},
+		{"no ON-OFF    (whole video)", func(p pick) float64 { return p.dur }, 1},
+	} {
+		w := model.WasteRate(0.5, n, func(i int) model.Session {
+			p := pop[i]
+			b := c.buffer(p)
+			if b > p.dur {
+				b = p.dur
+			}
+			return model.Session{Rate: p.rate, Duration: p.dur, Buffer: b, Accum: c.accum, Beta: p.beta}
+		})
+		fmt.Printf("  %-34s E[R'] = %5.2f Mbps\n", c.label, w/1e6)
+	}
+	fmt.Println()
+	fmt.Println("Both views agree with Table 2: bulk transfers waste the most, short")
+	fmt.Println("ON-OFF pacing the least. Small buffers and accumulation ratios close")
+	fmt.Println("to one keep the waste down (the paper's engineering recommendation).")
+}

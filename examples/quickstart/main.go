@@ -1,0 +1,57 @@
+// Quickstart: stream one YouTube Flash video through the Research
+// network for 180 simulated seconds, then print the Figure-1-style
+// phase anatomy the library recovered from the packet trace alone.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/media"
+	"repro/internal/netem"
+)
+
+func main() {
+	video := media.Video{
+		ID:           100,
+		Title:        "quickstart",
+		EncodingRate: 1.2e6, // 1.2 Mbps, a typical 360p clip
+		Duration:     5 * time.Minute,
+		Container:    media.Flash,
+		Resolution:   "360p",
+	}
+
+	res, err := core.Stream(core.StreamConfig{
+		Video:   video,
+		App:     core.FlashIE,
+		Network: netem.Research,
+		Seed:    42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	a := res.Analysis
+	fmt.Println("=== quickstart: one Flash streaming session (Figure 1 anatomy) ===")
+	fmt.Printf("video            : %s\n", video)
+	fmt.Printf("network          : %s (RTT %v)\n", netem.Research.Name, netem.Research.RTT)
+	fmt.Printf("captured         : %d packets, %.1f MB downstream, %d TCP connection(s)\n",
+		res.Trace.Len(), float64(a.TotalBytes)/1e6, a.ConnCount)
+	fmt.Println()
+	fmt.Printf("buffering phase  : ends at %.1f s with %.2f MB (%.0f s of playback)\n",
+		a.BufferingEnd.Seconds(), float64(a.BufferedBytes)/1e6, a.PlaybackBuffered())
+	fmt.Printf("steady state     : %d ON-OFF cycles, block median %.0f kB\n",
+		len(a.Blocks), float64(a.MedianBlock())/1e3)
+	fmt.Printf("steady-state rate: %.2f Mbps -> accumulation ratio %.2f\n",
+		a.SteadyRate/1e6, a.AccumulationRatio)
+	fmt.Printf("encoding rate    : %.2f Mbps, recovered from the %s header in the captured payload\n",
+		a.Media.EncodingRate/1e6, a.Media.Container)
+	fmt.Printf("classification   : %s\n", a.Strategy)
+	fmt.Println()
+	fmt.Println("The 64 kB blocks at accumulation ratio ~1.25 after a ~40 s burst are")
+	fmt.Println("the YouTube Flash server-side pacing the paper reports in Section 5.1.1.")
+}

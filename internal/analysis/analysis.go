@@ -1,0 +1,392 @@
+// Package analysis computes the paper's measurement metrics from a
+// captured trace alone, mirroring Sections 3–5:
+//
+//   - ON/OFF cycle segmentation of the downstream data,
+//   - phase detection (the buffering phase ends at the start of the
+//     first OFF period — the paper's own convention, including its
+//     sensitivity to packet loss),
+//   - block sizes (bytes per ON period in steady state),
+//   - the accumulation ratio (steady-state rate / encoding rate),
+//   - encoding-rate recovery from container headers in the payload
+//     bytes, with the Content-Length/duration fallback for WebM,
+//   - the ACK-clock metric (bytes in the first RTT of each ON period,
+//     Figure 9), and
+//   - the streaming-strategy classifier (2.5 MB block threshold).
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/packet"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// LongCycleBytes is the paper's block-size boundary between short and
+// long ON-OFF cycles (Section 3: 2.5 MB).
+const LongCycleBytes = 2500 * 1000
+
+// Config tunes the analyzer. Zero values take defaults.
+type Config struct {
+	// OffThreshold is the minimum downstream silence that counts as
+	// an OFF period. It must exceed the RTT (slow-start gaps) but sit
+	// below real OFF periods (0.2–5 s for short cycles). Default
+	// 150 ms.
+	OffThreshold time.Duration
+	// KnownDuration optionally supplies the video duration (the paper
+	// used the YouTube API when headers were unusable).
+	KnownDuration time.Duration
+	// KnownRate optionally supplies the encoding rate out of band.
+	KnownRate float64
+	// ProbeIgnoreBytes: data segments smaller than this do not start
+	// a new ON period — they are zero-window keepalive probes, not
+	// media blocks. Default 128.
+	ProbeIgnoreBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.OffThreshold <= 0 {
+		c.OffThreshold = 150 * time.Millisecond
+	}
+	if c.ProbeIgnoreBytes <= 0 {
+		c.ProbeIgnoreBytes = 128
+	}
+	return c
+}
+
+// Strategy is the classified streaming strategy of Section 3.
+type Strategy int
+
+// The three strategies, plus the iPad's combination (Section 5.1.3)
+// and Unknown for empty traces.
+const (
+	StrategyUnknown Strategy = iota
+	NoOnOff
+	ShortOnOff
+	LongOnOff
+	MultipleOnOff
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case NoOnOff:
+		return "No ON-OFF"
+	case ShortOnOff:
+		return "Short ON-OFF"
+	case LongOnOff:
+		return "Long ON-OFF"
+	case MultipleOnOff:
+		return "Multiple"
+	default:
+		return "Unknown"
+	}
+}
+
+// Cycle is one ON period.
+type Cycle struct {
+	Start, End time.Duration
+	Bytes      int64
+	// OffAfter is the silence following this ON period (0 for the
+	// last cycle).
+	OffAfter time.Duration
+}
+
+// MediaInfo is what the analyzer recovered about the content.
+type MediaInfo struct {
+	Container     media.Container
+	EncodingRate  float64 // bps; 0 when unrecoverable
+	Duration      time.Duration
+	ContentLength int64
+	// RateSource records how EncodingRate was obtained: "header",
+	// "content-length" (the paper's WebM fallback), "known", or "".
+	RateSource string
+}
+
+// Result is the full per-session analysis.
+type Result struct {
+	Cycles []Cycle
+
+	// Phases (Figure 1 / Section 3).
+	BufferingEnd   time.Duration // start of the first OFF period
+	BufferedBytes  int64
+	HasSteadyState bool
+
+	// Steady state.
+	Blocks            []int64 // bytes per steady-state ON period
+	SteadyRate        float64 // bps during steady state
+	AccumulationRatio float64 // 0 when the encoding rate is unknown
+
+	// ACK-clock samples: bytes observed in the first RTT of each
+	// steady-state ON period (Figure 9).
+	FirstRTTBytes []int64
+	RTT           time.Duration
+
+	Media    MediaInfo
+	Strategy Strategy
+
+	// Trace-level accounting.
+	TotalBytes  int64
+	Duration    time.Duration
+	ConnCount   int
+	Retrans     int
+	DataSegs    int
+	RetransRate float64
+}
+
+// Analyze runs the full pipeline on a captured trace.
+func Analyze(t *trace.Trace, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{
+		TotalBytes: t.DownBytes(),
+		Duration:   t.Duration(),
+		ConnCount:  len(t.Flows()),
+	}
+	r.Retrans, r.DataSegs = t.Retransmissions()
+	if r.DataSegs > 0 {
+		r.RetransRate = float64(r.Retrans) / float64(r.DataSegs)
+	}
+	r.RTT = estimateRTT(t)
+	r.Cycles = segment(t, cfg.OffThreshold, cfg.ProbeIgnoreBytes)
+	if len(r.Cycles) == 0 {
+		return r
+	}
+
+	// Phases: buffering ends where the first OFF begins.
+	first := r.Cycles[0]
+	r.BufferingEnd = first.End
+	r.BufferedBytes = first.Bytes
+	r.HasSteadyState = len(r.Cycles) > 1
+
+	if r.HasSteadyState {
+		steady := r.Cycles[1:]
+		var steadyBytes int64
+		for _, c := range steady {
+			r.Blocks = append(r.Blocks, c.Bytes)
+			steadyBytes += c.Bytes
+		}
+		span := steady[len(steady)-1].End - first.End
+		if span > 0 {
+			r.SteadyRate = float64(steadyBytes) * 8 / span.Seconds()
+		}
+		r.FirstRTTBytes = ackClockSamples(t, steady, r.RTT)
+	}
+
+	r.Media = extractMedia(t, cfg)
+	if r.Media.EncodingRate > 0 && r.SteadyRate > 0 {
+		r.AccumulationRatio = r.SteadyRate / r.Media.EncodingRate
+	}
+	r.Strategy = classify(r)
+	return r
+}
+
+// segment splits the aggregate downstream data into ON periods
+// separated by silences longer than off. Segments smaller than
+// probeIgnore never start an ON period: isolated zero-window probes
+// stay part of the surrounding OFF.
+func segment(t *trace.Trace, off time.Duration, probeIgnore int) []Cycle {
+	var cycles []Cycle
+	var cur *Cycle
+	var lastData time.Duration
+	for _, rec := range t.Records {
+		if rec.Dir != trace.Down || rec.Seg.Len() == 0 {
+			continue
+		}
+		if rec.Seg.Len() < probeIgnore && (cur == nil || rec.TS-lastData > off) {
+			continue // keepalive probe inside an OFF period
+		}
+		ts := rec.TS
+		if cur == nil {
+			cycles = append(cycles, Cycle{Start: ts})
+			cur = &cycles[len(cycles)-1]
+		} else if ts-lastData > off {
+			cur.End = lastData
+			cur.OffAfter = ts - lastData
+			cycles = append(cycles, Cycle{Start: ts})
+			cur = &cycles[len(cycles)-1]
+		}
+		cur.Bytes += int64(rec.Seg.Len())
+		lastData = ts
+	}
+	if cur != nil {
+		cur.End = lastData
+	}
+	return cycles
+}
+
+// estimateRTT uses the SYN -> SYN-ACK gap of the first complete
+// handshake in the capture; it falls back to the first data->ack gap.
+func estimateRTT(t *trace.Trace) time.Duration {
+	synAt := map[uint16]time.Duration{} // keyed by client port
+	for _, rec := range t.Records {
+		seg := rec.Seg
+		isSyn := seg.HasFlag(packet.FlagSYN)
+		isAck := seg.HasFlag(packet.FlagACK)
+		if rec.Dir == trace.Up && isSyn && !isAck {
+			if _, dup := synAt[seg.Src.Port]; !dup {
+				synAt[seg.Src.Port] = rec.TS
+			}
+		}
+		if rec.Dir == trace.Down && isSyn && isAck {
+			if t0, ok := synAt[seg.Dst.Port]; ok {
+				return rec.TS - t0
+			}
+		}
+	}
+	return 40 * time.Millisecond
+}
+
+// ackClockSamples sums downstream payload bytes within the first RTT
+// of each steady-state ON period: the paper's conservative estimate of
+// the congestion window at ON-period start (Figure 9).
+func ackClockSamples(t *trace.Trace, steady []Cycle, rtt time.Duration) []int64 {
+	out := make([]int64, len(steady))
+	ci := 0
+	for _, rec := range t.Records {
+		if rec.Dir != trace.Down || rec.Seg.Len() == 0 {
+			continue
+		}
+		for ci < len(steady) && rec.TS > steady[ci].Start+rtt {
+			ci++
+		}
+		if ci == len(steady) {
+			break
+		}
+		c := steady[ci]
+		if rec.TS >= c.Start && rec.TS <= c.Start+rtt {
+			out[ci] += int64(rec.Seg.Len())
+		}
+	}
+	return out
+}
+
+// extractMedia recovers content metadata from the first flow's payload
+// bytes: HTTP response header, then container header. This is the
+// paper's methodology — rate from the Flash header, or the
+// Content-Length/duration estimate for WebM.
+func extractMedia(t *trace.Trace, cfg Config) MediaInfo {
+	mi := MediaInfo{Duration: cfg.KnownDuration}
+	flows := t.Flows()
+	if len(flows) == 0 {
+		return applyKnown(mi, cfg)
+	}
+	stream := t.Reassemble(flows[0], 4096)
+	idx := bytes.Index(stream, []byte("\r\n\r\n"))
+	if idx < 0 {
+		return applyKnown(mi, cfg)
+	}
+	head := stream[:idx]
+	body := stream[idx+4:]
+	// Pull Content-Length out of the response header.
+	for _, line := range bytes.Split(head, []byte("\r\n")) {
+		k, v, ok := bytes.Cut(line, []byte(":"))
+		if ok && bytes.EqualFold(bytes.TrimSpace(k), []byte("content-length")) {
+			fmt.Sscanf(string(bytes.TrimSpace(v)), "%d", &mi.ContentLength)
+		}
+	}
+	info, err := media.ParseHeader(body)
+	if err != nil {
+		return applyKnown(mi, cfg)
+	}
+	mi.Container = info.Container
+	if info.Duration > 0 {
+		mi.Duration = info.Duration
+	}
+	switch {
+	case info.RateValid && info.EncodingRate > 0:
+		mi.EncodingRate = info.EncodingRate
+		mi.RateSource = "header"
+	case mi.ContentLength > 0 && mi.Duration > 0:
+		// The WebM fallback: estimate as Content-Length / duration.
+		mi.EncodingRate = float64(mi.ContentLength) * 8 / mi.Duration.Seconds()
+		mi.RateSource = "content-length"
+	}
+	return applyKnown(mi, cfg)
+}
+
+func applyKnown(mi MediaInfo, cfg Config) MediaInfo {
+	if mi.EncodingRate == 0 && cfg.KnownRate > 0 {
+		mi.EncodingRate = cfg.KnownRate
+		mi.RateSource = "known"
+	}
+	return mi
+}
+
+// classify implements the Section 3 taxonomy. A session with no OFF
+// periods is a bulk transfer; otherwise the block sizes decide, with
+// MultipleOnOff covering the iPad's mixed behaviour (Section 5.1.3).
+func classify(r *Result) Strategy {
+	if r.TotalBytes == 0 {
+		return StrategyUnknown
+	}
+	if !r.HasSteadyState {
+		return NoOnOff
+	}
+	// A transfer whose OFF time is negligible relative to its active
+	// span is a bulk transfer interrupted by loss-recovery stalls, not
+	// a rate-limited stream: still No ON-OFF. (The paper notes its
+	// phase detection is sensitive to exactly these artefacts.)
+	var totalOff time.Duration
+	for _, c := range r.Cycles {
+		totalOff += c.OffAfter
+	}
+	activeSpan := r.Cycles[len(r.Cycles)-1].End - r.Cycles[0].Start
+	if activeSpan > 0 && totalOff < activeSpan/10 {
+		return NoOnOff
+	}
+	short, long := 0, 0
+	for _, b := range r.Blocks {
+		if b < LongCycleBytes {
+			short++
+		} else {
+			long++
+		}
+	}
+	total := short + long
+	mixed := short >= 3 && long >= 3 &&
+		float64(short)/float64(total) >= 0.15 && float64(long)/float64(total) >= 0.15
+	switch {
+	case long == 0:
+		return ShortOnOff
+	case short == 0:
+		return LongOnOff
+	case mixed:
+		return MultipleOnOff
+	case float64(long)/float64(total) > 0.5:
+		return LongOnOff
+	default:
+		return ShortOnOff
+	}
+}
+
+// MedianBlock returns the median steady-state block size in bytes,
+// or 0 when there is no steady state.
+func (r *Result) MedianBlock() int64 {
+	if len(r.Blocks) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(r.Blocks))
+	for i, b := range r.Blocks {
+		xs[i] = float64(b)
+	}
+	return int64(stats.Median(xs))
+}
+
+// PlaybackBuffered converts the buffered bytes into seconds of
+// playback at the recovered encoding rate (Figure 3a's y-axis).
+func (r *Result) PlaybackBuffered() float64 {
+	if r.Media.EncodingRate <= 0 {
+		return 0
+	}
+	return float64(r.BufferedBytes) * 8 / r.Media.EncodingRate
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: %d conns, %.2f MB total, buffering %.1fs/%.2f MB, %d blocks (median %.0f kB), accum %.2f, retrans %.2f%%",
+		r.Strategy, r.ConnCount, float64(r.TotalBytes)/1e6,
+		r.BufferingEnd.Seconds(), float64(r.BufferedBytes)/1e6,
+		len(r.Blocks), float64(r.MedianBlock())/1e3, r.AccumulationRatio, r.RetransRate*100)
+}

@@ -1,0 +1,155 @@
+// Package core is the library's front door: it ties the substrates
+// together behind a small API for the three things a user of this
+// reproduction wants to do —
+//
+//  1. stream a video through a simulated vantage network with a chosen
+//     application and get the captured trace plus the paper's metrics
+//     (Stream);
+//  2. classify an existing capture, ours or tcpdump's (ClassifyPcap);
+//  3. evaluate the Section 6 aggregate-traffic model for dimensioning
+//     and interruption-waste questions (re-exported helpers).
+//
+// Everything underneath is importable directly (internal/tcp,
+// internal/netem, …) when finer control is needed; the examples under
+// examples/ use this package only.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/media"
+	"repro/internal/model"
+	"repro/internal/netem"
+	"repro/internal/player"
+	"repro/internal/session"
+	"repro/internal/trace"
+)
+
+// Application names the client applications of Table 1.
+type Application string
+
+// The applications of Table 1.
+const (
+	FlashIE        Application = "flash-ie"
+	FlashFirefox   Application = "flash-firefox"
+	FlashChrome    Application = "flash-chrome"
+	HTML5IE        Application = "html5-ie"
+	HTML5Firefox   Application = "html5-firefox"
+	HTML5Chrome    Application = "html5-chrome"
+	YouTubeAndroid Application = "youtube-android"
+	YouTubeIPad    Application = "youtube-ipad"
+	NetflixPC      Application = "netflix-pc"
+	NetflixIPadApp Application = "netflix-ipad"
+	NetflixDroid   Application = "netflix-android"
+)
+
+// Applications lists every supported application key.
+func Applications() []Application {
+	return []Application{
+		FlashIE, FlashFirefox, FlashChrome,
+		HTML5IE, HTML5Firefox, HTML5Chrome,
+		YouTubeAndroid, YouTubeIPad,
+		NetflixPC, NetflixIPadApp, NetflixDroid,
+	}
+}
+
+// NewPlayer builds the player model for an application key.
+func NewPlayer(app Application) (player.Player, error) {
+	switch app {
+	case FlashIE:
+		return player.NewFlashPlayer("Internet Explorer"), nil
+	case FlashFirefox:
+		return player.NewFlashPlayer("Mozilla Firefox"), nil
+	case FlashChrome:
+		return player.NewFlashPlayer("Google Chrome"), nil
+	case HTML5IE:
+		return player.NewIEHtml5(), nil
+	case HTML5Firefox:
+		return player.NewFirefoxHtml5(), nil
+	case HTML5Chrome:
+		return player.NewChromeHtml5(), nil
+	case YouTubeAndroid:
+		return player.NewAndroidYouTube(), nil
+	case YouTubeIPad:
+		return player.NewIPadYouTube(), nil
+	case NetflixPC:
+		return player.NewSilverlightPC("Internet Explorer"), nil
+	case NetflixIPadApp:
+		return player.NewNetflixIPad(), nil
+	case NetflixDroid:
+		return player.NewNetflixAndroid(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown application %q (see Applications)", app)
+	}
+}
+
+// ServiceFor returns the service an application streams from.
+func ServiceFor(app Application) session.ServiceKind {
+	switch app {
+	case NetflixPC, NetflixIPadApp, NetflixDroid:
+		return session.Netflix
+	default:
+		return session.YouTube
+	}
+}
+
+// StreamConfig describes one measurement.
+type StreamConfig struct {
+	Video   media.Video
+	App     Application
+	Network netem.Profile
+	Seed    int64
+	// DurationSeconds bounds the capture; 0 means the paper's 180 s.
+	DurationSeconds float64
+}
+
+// Stream runs one streaming session and returns the session result
+// (trace, analysis, counters).
+func Stream(cfg StreamConfig) (*session.Result, error) {
+	p, err := NewPlayer(cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	sc := session.Config{
+		Video:   cfg.Video,
+		Service: ServiceFor(cfg.App),
+		Player:  p,
+		Network: cfg.Network,
+		Seed:    cfg.Seed,
+	}
+	if cfg.DurationSeconds > 0 {
+		sc.Duration = time.Duration(cfg.DurationSeconds * float64(time.Second))
+	}
+	return session.Run(sc), nil
+}
+
+// ClassifyPcap analyzes a libpcap capture (from this library or from
+// tcpdump with raw-IP linktype) taken at clientAddr and returns the
+// paper's metrics for it.
+func ClassifyPcap(r io.Reader, clientAddr [4]byte, cfg analysis.Config) (*analysis.Result, error) {
+	tr, err := trace.ReadPcap(r, clientAddr)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading capture: %w", err)
+	}
+	return analysis.Analyze(tr, cfg), nil
+}
+
+// Re-exported model helpers so dimensioning users need only this
+// package.
+
+// AggregateMean returns E[R(t)] = λ·E[e]·E[L] (eq. 3).
+func AggregateMean(p model.Params) float64 { return model.MeanAggregate(p) }
+
+// AggregateVar returns Var[R(t)] = λ·E[e]·E[L]·E[G] (eq. 4).
+func AggregateVar(p model.Params) float64 { return model.VarAggregate(p) }
+
+// DimensionLink returns the E[R]+α·σ provisioning rule of Section 6.1.
+func DimensionLink(p model.Params, alpha float64) float64 { return model.Dimension(p, alpha) }
+
+// FullDownloadThreshold returns the eq. 7 duration threshold.
+func FullDownloadThreshold(bufferPlayback, accum, beta float64) float64 {
+	return model.InterruptionThreshold(bufferPlayback, accum, beta)
+}

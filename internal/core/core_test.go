@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/media"
+	"repro/internal/model"
+	"repro/internal/netem"
+	"repro/internal/session"
+)
+
+func video() media.Video {
+	return media.Video{ID: 1, EncodingRate: 1e6, Duration: 300 * time.Second, Container: media.Flash, Resolution: "360p"}
+}
+
+func TestApplicationsAllConstruct(t *testing.T) {
+	apps := Applications()
+	if len(apps) != 11 {
+		t.Fatalf("applications = %d, want 11", len(apps))
+	}
+	for _, app := range apps {
+		p, err := NewPlayer(app)
+		if err != nil || p == nil {
+			t.Fatalf("NewPlayer(%s): %v", app, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("%s has empty name", app)
+		}
+	}
+	if _, err := NewPlayer("quicktime"); err == nil {
+		t.Fatal("unknown application must error")
+	}
+}
+
+func TestServiceFor(t *testing.T) {
+	if ServiceFor(NetflixPC) != session.Netflix || ServiceFor(NetflixDroid) != session.Netflix {
+		t.Fatal("netflix apps must map to Netflix")
+	}
+	if ServiceFor(FlashIE) != session.YouTube || ServiceFor(YouTubeIPad) != session.YouTube {
+		t.Fatal("youtube apps must map to YouTube")
+	}
+}
+
+func TestStreamEndToEnd(t *testing.T) {
+	r, err := Stream(StreamConfig{
+		Video: video(), App: FlashIE, Network: netem.Research,
+		Seed: 1, DurationSeconds: 90,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Analysis.Strategy != analysis.ShortOnOff {
+		t.Fatalf("strategy = %v", r.Analysis.Strategy)
+	}
+	if r.Elapsed != 90*time.Second {
+		t.Fatalf("elapsed = %v", r.Elapsed)
+	}
+	if _, err := Stream(StreamConfig{Video: video(), App: "bogus", Network: netem.Research}); err == nil {
+		t.Fatal("bogus app must error")
+	}
+}
+
+func TestClassifyPcapRoundTrip(t *testing.T) {
+	r, err := Stream(StreamConfig{
+		Video: video(), App: FlashIE, Network: netem.Research,
+		Seed: 2, DurationSeconds: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ClassifyPcap(&buf, session.ClientAddr, analysis.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Strategy != r.Analysis.Strategy {
+		t.Fatalf("pcap classify %v, live %v", a.Strategy, r.Analysis.Strategy)
+	}
+	if _, err := ClassifyPcap(bytes.NewReader([]byte("junk....................")), session.ClientAddr, analysis.Config{}); err == nil {
+		t.Fatal("junk capture must error")
+	}
+}
+
+func TestModelHelpers(t *testing.T) {
+	p := model.Params{Lambda: 0.1, MeanRate: 1e6, MeanDuration: 100, MeanDownRate: 5e6}
+	if AggregateMean(p) != 0.1*1e6*100 {
+		t.Fatal("AggregateMean")
+	}
+	if AggregateVar(p) != 0.1*1e6*100*5e6 {
+		t.Fatal("AggregateVar")
+	}
+	if DimensionLink(p, 1) <= AggregateMean(p) {
+		t.Fatal("DimensionLink")
+	}
+	if th := FullDownloadThreshold(40, 1.25, 0.2); th < 53 || th > 54 {
+		t.Fatalf("threshold = %v", th)
+	}
+}

@@ -1,0 +1,98 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (see DESIGN.md's experiment index). Each runner
+// executes the necessary simulated sessions, computes the paper's
+// metric, and returns both a printable artifact (the rows/series the
+// paper reports) and structured values that the tests and benches
+// assert shape properties on.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/player"
+	"repro/internal/session"
+)
+
+// Options scales the experiments. Zero values take defaults sized for
+// benches; tests use smaller N.
+type Options struct {
+	// N is the number of videos sampled per dataset/cell. Default 8.
+	N int
+	// Seed drives all sampling.
+	Seed int64
+	// Duration is the per-session capture time. Default 180 s (the
+	// paper's). Tests may shorten it.
+	Duration time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.N <= 0 {
+		o.N = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Duration <= 0 {
+		o.Duration = session.DefaultDuration
+	}
+	return o
+}
+
+// Artifact is a printable experiment output.
+type Artifact struct {
+	Title string
+	lines []string
+}
+
+// Addf appends one formatted line.
+func (a *Artifact) Addf(format string, args ...any) {
+	a.lines = append(a.lines, fmt.Sprintf(format, args...))
+}
+
+// AddBlock appends a multi-line block verbatim.
+func (a *Artifact) AddBlock(block string) {
+	for _, ln := range strings.Split(strings.TrimRight(block, "\n"), "\n") {
+		a.lines = append(a.lines, ln)
+	}
+}
+
+func (a *Artifact) String() string {
+	return "== " + a.Title + " ==\n" + strings.Join(a.lines, "\n") + "\n"
+}
+
+// runYouTube executes one YouTube session.
+func runYouTube(v media.Video, p player.Player, net netem.Profile, seed int64, d time.Duration) *session.Result {
+	return session.Run(session.Config{
+		Video: v, Service: session.YouTube, Player: p,
+		Network: net, Seed: seed, Duration: d,
+	})
+}
+
+// runNetflix executes one Netflix session.
+func runNetflix(v media.Video, p player.Player, net netem.Profile, seed int64, d time.Duration) *session.Result {
+	return session.Run(session.Config{
+		Video: v, Service: session.Netflix, Player: p,
+		Network: net, Seed: seed, Duration: d,
+	})
+}
+
+// sampleVideos picks up to n videos deterministically from a dataset.
+func sampleVideos(d media.Dataset, n int) []media.Video {
+	if n >= len(d.Videos) {
+		return d.Videos
+	}
+	out := make([]media.Video, 0, n)
+	step := len(d.Videos) / n
+	for i := 0; i < n; i++ {
+		out = append(out, d.Videos[i*step])
+	}
+	return out
+}
+
+func mb(b int64) float64     { return float64(b) / 1e6 }
+func kb(b int64) float64     { return float64(b) / 1e3 }
+func mbps(b float64) float64 { return b / 1e6 }

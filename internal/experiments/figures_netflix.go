@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/player"
+	"repro/internal/stats"
+)
+
+// netflixSample builds the NetPC/NetMob samples.
+func netflixSample(o Options) []media.Video {
+	return sampleVideos(media.NetPC(o.N*4, o.Seed+7), o.N)
+}
+
+// Figure10Result holds the representative Netflix traces.
+type Figure10Result struct {
+	PC, IPad, Android            []SeriesPoint
+	PCStrategy, IPadStrategy     analysis.Strategy
+	AndroidStrategy              analysis.Strategy
+	PCConns, IPadConns, AndConns int
+	Artifact                     Artifact
+}
+
+// Figure10 reproduces the Netflix download-evolution traces in the
+// Academic network.
+func Figure10(o Options) *Figure10Result {
+	o = o.withDefaults()
+	v := media.Video{ID: 31, EncodingRate: 3800e3, Duration: 45 * time.Minute, Container: media.Silverlight, Resolution: "adaptive"}
+	pc := runNetflix(v, player.NewSilverlightPC("Internet Explorer"), netem.Academic, o.Seed, o.Duration)
+	ip := runNetflix(v, player.NewNetflixIPad(), netem.Academic, o.Seed+1, o.Duration)
+	an := runNetflix(v, player.NewNetflixAndroid(), netem.Academic, o.Seed+2, o.Duration)
+
+	res := &Figure10Result{
+		PC: downloadSeries(pc, 30), IPad: downloadSeries(ip, 30), Android: downloadSeries(an, 30),
+		PCStrategy: pc.Analysis.Strategy, IPadStrategy: ip.Analysis.Strategy, AndroidStrategy: an.Analysis.Strategy,
+		PCConns: pc.Analysis.ConnCount, IPadConns: ip.Analysis.ConnCount, AndConns: an.Analysis.ConnCount,
+		Artifact: Artifact{Title: "Figure 10: streaming strategies used by Netflix (Academic)"},
+	}
+	res.Artifact.Addf("(a) PC:   %s, %d conns, %.1f MB in %d s", res.PCStrategy, res.PCConns, lastMB(res.PC), int(o.Duration.Seconds()))
+	res.Artifact.Addf("    iPad: %s, %d conns, %.1f MB", res.IPadStrategy, res.IPadConns, lastMB(res.IPad))
+	res.Artifact.Addf("(b) Android: %s, %d conns, %.1f MB", res.AndroidStrategy, res.AndConns, lastMB(res.Android))
+	return res
+}
+
+func lastMB(s []SeriesPoint) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1].V / 1e6
+}
+
+// Figure11Result holds the Netflix buffering-amount distributions.
+type Figure11Result struct {
+	// Buffering maps series label to the CDF of buffering amounts in
+	// MB: PC/Academic, PC/Home, iPad/Academic (a); Android/Academic (b).
+	Buffering map[string]*stats.CDF
+	Artifact  Artifact
+}
+
+// Figure11 measures Netflix buffering amounts per application.
+func Figure11(o Options) *Figure11Result {
+	o = o.withDefaults()
+	res := &Figure11Result{Buffering: map[string]*stats.CDF{}, Artifact: Artifact{Title: "Figure 11: Netflix buffering amounts"}}
+	vids := netflixSample(o)
+	series := []struct {
+		label string
+		net   netem.Profile
+		mk    func() player.Player
+	}{
+		{"PC/Academic", netem.Academic, func() player.Player { return player.NewSilverlightPC("Internet Explorer") }},
+		{"PC/Home", netem.Home, func() player.Player { return player.NewSilverlightPC("Internet Explorer") }},
+		{"iPad/Academic", netem.Academic, func() player.Player { return player.NewNetflixIPad() }},
+		{"Android/Academic", netem.Academic, func() player.Player { return player.NewNetflixAndroid() }},
+	}
+	for si, s := range series {
+		var buf []float64
+		for i, v := range vids {
+			r := runNetflix(v, s.mk(), s.net, o.Seed+int64(si*100+i), o.Duration)
+			buf = append(buf, mb(r.Analysis.BufferedBytes))
+		}
+		res.Buffering[s.label] = stats.NewCDF(buf)
+		res.Artifact.Addf("%-18s median %.1f MB (n=%d)", s.label, res.Buffering[s.label].Median(), len(buf))
+	}
+	return res
+}
+
+// Figure12Result holds the Netflix block-size distributions.
+type Figure12Result struct {
+	Blocks   map[string]*stats.CDF // MB
+	Artifact Artifact
+}
+
+// Figure12 measures Netflix steady-state block sizes per application.
+func Figure12(o Options) *Figure12Result {
+	o = o.withDefaults()
+	res := &Figure12Result{Blocks: map[string]*stats.CDF{}, Artifact: Artifact{Title: "Figure 12: Netflix block sizes"}}
+	vids := netflixSample(o)
+	series := []struct {
+		label string
+		net   netem.Profile
+		mk    func() player.Player
+	}{
+		{"PC/Academic", netem.Academic, func() player.Player { return player.NewSilverlightPC("Internet Explorer") }},
+		{"PC/Home", netem.Home, func() player.Player { return player.NewSilverlightPC("Internet Explorer") }},
+		{"iPad/Academic", netem.Academic, func() player.Player { return player.NewNetflixIPad() }},
+		{"Android/Academic", netem.Academic, func() player.Player { return player.NewNetflixAndroid() }},
+	}
+	for si, s := range series {
+		var blocks []float64
+		for i, v := range vids {
+			r := runNetflix(v, s.mk(), s.net, o.Seed+int64(si*100+i), o.Duration)
+			for _, b := range r.Analysis.Blocks {
+				blocks = append(blocks, mb(b))
+			}
+		}
+		res.Blocks[s.label] = stats.NewCDF(blocks)
+		if res.Blocks[s.label].N() > 0 {
+			res.Artifact.Addf("%-18s median %.2f MB p90 %.2f MB (n=%d)",
+				s.label, res.Blocks[s.label].Median(), res.Blocks[s.label].Quantile(0.9), res.Blocks[s.label].N())
+		}
+	}
+	return res
+}

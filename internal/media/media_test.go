@@ -1,0 +1,216 @@
+package media
+
+import (
+	"testing"
+	"time"
+)
+
+func sample() Video {
+	return Video{
+		ID:           42,
+		EncodingRate: 1.2e6,
+		Duration:     200 * time.Second,
+		Container:    Flash,
+		Resolution:   "360p",
+	}
+}
+
+func TestVideoSize(t *testing.T) {
+	v := sample()
+	want := int64(1.2e6 / 8 * 200)
+	if got := v.Size(); got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+	if v.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestFLVHeaderRoundTrip(t *testing.T) {
+	v := sample()
+	h := EncodeFLVHeader(v)
+	if len(h) != FLVHeaderSize {
+		t.Fatalf("header size %d", len(h))
+	}
+	info, err := ParseHeader(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Container != Flash || !info.RateValid {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.EncodingRate != 1.2e6 {
+		t.Fatalf("rate = %v", info.EncodingRate)
+	}
+	if info.Duration != 200*time.Second {
+		t.Fatalf("duration = %v", info.Duration)
+	}
+}
+
+func TestWebMHeaderHasInvalidRate(t *testing.T) {
+	v := sample()
+	v.Container = HTML5
+	h := EncodeWebMHeader(v)
+	info, err := ParseHeader(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Container != HTML5 {
+		t.Fatalf("container = %v", info.Container)
+	}
+	if info.RateValid {
+		t.Fatal("WebM header must report an invalid rate (the paper's broken frame-rate field)")
+	}
+	if info.EncodingRate != 0 {
+		t.Fatalf("rate should be absent, got %v", info.EncodingRate)
+	}
+	if info.Duration != 200*time.Second {
+		t.Fatalf("duration = %v (needed for the Content-Length fallback)", info.Duration)
+	}
+}
+
+func TestMP4FragHeader(t *testing.T) {
+	v := sample()
+	h := EncodeMP4FragHeader(v, 1600e3, 4*time.Second)
+	info, err := ParseHeader(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Container != Silverlight || info.EncodingRate != 1600e3 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Duration != 4*time.Second {
+		t.Fatalf("frag duration = %v", info.Duration)
+	}
+}
+
+func TestHeaderForDispatch(t *testing.T) {
+	for _, c := range []Container{Flash, HTML5, Silverlight} {
+		v := sample()
+		v.Container = c
+		info, err := ParseHeader(HeaderFor(v))
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if info.Container != c {
+			t.Fatalf("HeaderFor(%v) sniffed as %v", c, info.Container)
+		}
+	}
+}
+
+func TestParseHeaderUnknown(t *testing.T) {
+	if _, err := ParseHeader([]byte("RIFFxxxxWAVE____________")); err != ErrUnknownContainer {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ParseHeader([]byte{1, 2}); err == nil {
+		t.Fatal("short input must error")
+	}
+}
+
+func TestContainerString(t *testing.T) {
+	if Flash.String() != "Flash" || HTML5.String() != "HTML5" || Silverlight.String() != "Silverlight" {
+		t.Fatal("container names wrong")
+	}
+	if Container(9).String() != "Unknown" {
+		t.Fatal("unknown container name")
+	}
+}
+
+func TestYouFlashDataset(t *testing.T) {
+	d := YouFlash(200, 1)
+	if d.Name != "YouFlash" || len(d.Videos) != 200 {
+		t.Fatalf("dataset %s with %d videos", d.Name, len(d.Videos))
+	}
+	for _, v := range d.Videos {
+		if v.EncodingRate < 0.2e6 || v.EncodingRate > 1.5e6 {
+			t.Fatalf("rate %v outside the paper's 0.2-1.5 Mbps", v.EncodingRate)
+		}
+		if v.Container != Flash {
+			t.Fatal("YouFlash videos must use Flash")
+		}
+		if v.Resolution != "240p" && v.Resolution != "360p" {
+			t.Fatalf("resolution %s", v.Resolution)
+		}
+		if v.Duration < 30*time.Second || v.Duration > time.Hour {
+			t.Fatalf("duration %v out of range", v.Duration)
+		}
+	}
+}
+
+func TestYouHDDataset(t *testing.T) {
+	d := YouHD(100, 2)
+	for _, v := range d.Videos {
+		if v.EncodingRate < 0.2e6 || v.EncodingRate > 4.8e6 {
+			t.Fatalf("HD rate %v outside 0.2-4.8 Mbps", v.EncodingRate)
+		}
+		if v.Resolution != "720p" {
+			t.Fatal("HD videos must be 720p")
+		}
+	}
+}
+
+func TestYouHtmlDataset(t *testing.T) {
+	d := YouHtml(120, 3)
+	for _, v := range d.Videos {
+		if v.EncodingRate < 0.2e6 || v.EncodingRate > 2.5e6 {
+			t.Fatalf("HTML5 rate %v outside 0.2-2.5 Mbps", v.EncodingRate)
+		}
+		if v.Container != HTML5 {
+			t.Fatal("YouHtml videos must use HTML5")
+		}
+	}
+}
+
+func TestYouMobDataset(t *testing.T) {
+	d := YouMob(80, 4)
+	for _, v := range d.Videos {
+		if v.EncodingRate < 0.2e6 || v.EncodingRate > 2.7e6 {
+			t.Fatalf("mobile rate %v outside 0.2-2.7 Mbps", v.EncodingRate)
+		}
+	}
+}
+
+func TestNetflixDatasets(t *testing.T) {
+	pc := NetPC(50, 5)
+	for _, v := range pc.Videos {
+		if v.Container != Silverlight {
+			t.Fatal("Netflix must use Silverlight")
+		}
+		if v.Duration < 20*time.Minute {
+			t.Fatalf("movie duration %v too short", v.Duration)
+		}
+	}
+	mob := NetMob(10, 5)
+	if len(mob.Videos) != 10 {
+		t.Fatalf("NetMob size %d", len(mob.Videos))
+	}
+	if len(NetflixLadder) < 3 {
+		t.Fatal("ladder too small")
+	}
+	for i := 1; i < len(NetflixLadder); i++ {
+		if NetflixLadder[i] <= NetflixLadder[i-1] {
+			t.Fatal("ladder must be increasing")
+		}
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	a := YouFlash(50, 99)
+	b := YouFlash(50, 99)
+	for i := range a.Videos {
+		if a.Videos[i] != b.Videos[i] {
+			t.Fatal("same seed must generate identical datasets")
+		}
+	}
+	c := YouFlash(50, 100)
+	same := true
+	for i := range a.Videos {
+		if a.Videos[i] != c.Videos[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}

@@ -1,0 +1,266 @@
+// Package model implements the Section 6 analytical model for the
+// aggregate rate of many concurrent streaming sessions, plus a
+// Monte-Carlo fluid simulator used to validate it:
+//
+//   - sessions arrive as a homogeneous Poisson process with rate λ;
+//   - video n has encoding rate e_n, duration L_n, size S_n = e_n·L_n;
+//   - without interruptions, E[R] = λ·E[S] (eq. 1/3) and
+//     Var[R] = λ·E[e]·E[L]·E[G] (eq. 2/4), where G is the download
+//     rate during ON periods — independent of the streaming strategy;
+//   - with interruptions after a fraction β of the video, eq. 7 bounds
+//     the buffering playback B' that avoids full downloads, and
+//     eqs. 8–9 give the wasted bandwidth E[R'].
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Params carries the model inputs. Rates are bits/second, durations
+// seconds, sizes bits (the paper's formulas are unit-agnostic; we fix
+// bits and seconds).
+type Params struct {
+	// Lambda is the session arrival rate (sessions/second).
+	Lambda float64
+	// MeanRate is E[e_n], the mean encoding rate (bps).
+	MeanRate float64
+	// MeanDuration is E[L_n] in seconds.
+	MeanDuration float64
+	// MeanDownRate is E[G_n], the mean ON-period download rate (bps).
+	MeanDownRate float64
+}
+
+// MeanAggregate returns E[R(t)] = λ·E[e]·E[L] in bps (eq. 3).
+func MeanAggregate(p Params) float64 {
+	return p.Lambda * p.MeanRate * p.MeanDuration
+}
+
+// VarAggregate returns Var[R(t)] = λ·E[e]·E[L]·E[G] in bps² (eq. 4).
+func VarAggregate(p Params) float64 {
+	return p.Lambda * p.MeanRate * p.MeanDuration * p.MeanDownRate
+}
+
+// Dimension returns the provisioning rule of Section 6.1:
+// E[R] + α·sqrt(Var[R]).
+func Dimension(p Params, alpha float64) float64 {
+	return MeanAggregate(p) + alpha*math.Sqrt(VarAggregate(p))
+}
+
+// CoV returns the coefficient of variation sqrt(Var)/Mean — the
+// "smoothness" measure behind the paper's claim that higher encoding
+// rates yield relatively smoother aggregate traffic.
+func CoV(p Params) float64 {
+	m := MeanAggregate(p)
+	if m == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(VarAggregate(p)) / m
+}
+
+// InterruptionThreshold solves eq. 7 for the video duration below
+// which the whole video downloads before the viewer gives up:
+// B' < L·(1-k·β)  ⇔  L > B'/(1-k·β). bufferPlayback is B' in seconds,
+// accum is k, beta the watched fraction. It returns +Inf when k·β >= 1
+// (the download never outruns an always-watching viewer).
+func InterruptionThreshold(bufferPlayback, accum, beta float64) float64 {
+	d := 1 - accum*beta
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return bufferPlayback / d
+}
+
+// Session describes one video for the interruption model.
+type Session struct {
+	Rate     float64 // e_n, bps
+	Duration float64 // L_n, seconds
+	Buffer   float64 // B'_n, seconds of playback downloaded up front
+	Accum    float64 // k_n >= 1
+	Beta     float64 // watched fraction before interruption, < 1
+}
+
+// UnusedBytes returns the unused bits for one interrupted session:
+// min(B_n + G_n·τ_n, e_n·L_n) − e_n·τ_n with τ_n = β_n·L_n (eq. 8's
+// integrand, in bits).
+func UnusedBytes(s Session) float64 {
+	tau := s.Beta * s.Duration
+	downloaded := math.Min(s.Rate*s.Buffer+s.Accum*s.Rate*tau, s.Rate*s.Duration)
+	used := s.Rate * tau
+	if downloaded < used {
+		return 0
+	}
+	return downloaded - used
+}
+
+// WasteRate returns E[R'(t)] = λ·E[unused bits] (eqs. 8–9) for a
+// population of sessions sampled by draw.
+func WasteRate(lambda float64, n int, draw func(i int) Session) float64 {
+	if n <= 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += UnusedBytes(draw(i))
+	}
+	return lambda * sum / float64(n)
+}
+
+// Strategy selects the download shape for the Monte-Carlo simulator.
+type Strategy int
+
+// Fluid download shapes: bulk (no ON-OFF), short cycles, long cycles.
+const (
+	Bulk Strategy = iota
+	ShortCycles
+	LongCycles
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Bulk:
+		return "no ON-OFF"
+	case ShortCycles:
+		return "short ON-OFF"
+	case LongCycles:
+		return "long ON-OFF"
+	default:
+		return "unknown"
+	}
+}
+
+// SimConfig drives the Monte-Carlo aggregate simulator.
+type SimConfig struct {
+	Params
+	Strategy Strategy
+	// BlockBits is the per-cycle block size in bits for ON-OFF
+	// strategies (64 kB for short, >2.5 MB for long).
+	BlockBits float64
+	// Accum is the steady-state accumulation ratio for ON-OFF
+	// strategies (download rate during steady state = Accum·e).
+	Accum float64
+	// Horizon is the simulated time span in seconds.
+	Horizon float64
+	// Step is the sampling interval in seconds.
+	Step float64
+	// Seed fixes the random draws.
+	Seed int64
+	// RateJitter spreads e_n uniformly in
+	// [MeanRate·(1−j), MeanRate·(1+j)].
+	RateJitter float64
+	// DurJitter spreads L_n the same way.
+	DurJitter float64
+}
+
+// SimResult summarizes one Monte-Carlo run.
+type SimResult struct {
+	Mean, Var float64 // measured aggregate mean (bps) and variance
+	Samples   int
+	Sessions  int
+}
+
+// Simulate draws Poisson arrivals and integrates the aggregate fluid
+// rate R(t) over the horizon, sampling every Step. Each session
+// downloads with the configured strategy's shape:
+//
+//   - Bulk: rate G until S bits are done;
+//   - Short/Long cycles: G during ON periods of BlockBits, idle
+//     between them so the average is Accum·e.
+//
+// Warm-up and cool-down margins of one max session length are
+// excluded from the statistics so the process is stationary.
+func Simulate(cfg SimConfig) SimResult {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type interval struct{ a, b float64 } // [a,b) at rate G
+	var spans []interval
+	var G float64 = cfg.MeanDownRate
+
+	margin := cfg.MeanDuration * 4
+	start := -margin
+	endArrivals := cfg.Horizon + margin
+	sessions := 0
+	for t := start; t < endArrivals; {
+		t += rng.ExpFloat64() / cfg.Lambda
+		if t >= endArrivals {
+			break
+		}
+		sessions++
+		e := jitter(rng, cfg.MeanRate, cfg.RateJitter)
+		L := jitter(rng, cfg.MeanDuration, cfg.DurJitter)
+		S := e * L
+		switch cfg.Strategy {
+		case Bulk:
+			spans = append(spans, interval{t, t + S/G})
+		default:
+			// ON-OFF: blocks of BlockBits at G, spaced so that the
+			// average rate is Accum·e, until S bits are transferred.
+			period := cfg.BlockBits / (cfg.Accum * e)
+			sent := 0.0
+			at := t
+			for sent < S {
+				blk := math.Min(cfg.BlockBits, S-sent)
+				spans = append(spans, interval{at, at + blk/G})
+				sent += blk
+				at += period
+			}
+		}
+	}
+
+	// Exact time-weighted statistics via an event sweep: R(t) is
+	// piecewise constant between span edges, so mean and variance
+	// integrate exactly — no sampling error beyond the finite horizon.
+	type edge struct {
+		at float64
+		d  float64
+	}
+	edges := make([]edge, 0, 2*len(spans))
+	for _, sp := range spans {
+		a, b := sp.a, sp.b
+		if b <= 0 || a >= cfg.Horizon {
+			continue
+		}
+		if a < 0 {
+			a = 0
+		}
+		if b > cfg.Horizon {
+			b = cfg.Horizon
+		}
+		edges = append(edges, edge{a, G}, edge{b, -G})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].at < edges[j].at })
+	var sum, sumSq, r, prev float64
+	for _, e := range edges {
+		dt := e.at - prev
+		sum += r * dt
+		sumSq += r * r * dt
+		prev = e.at
+		r += e.d
+	}
+	if prev < cfg.Horizon {
+		dt := cfg.Horizon - prev
+		sum += r * dt
+		sumSq += r * r * dt
+	}
+	mean := sum / cfg.Horizon
+	return SimResult{
+		Mean:     mean,
+		Var:      sumSq/cfg.Horizon - mean*mean,
+		Samples:  len(edges),
+		Sessions: sessions,
+	}
+}
+
+func jitter(rng *rand.Rand, mean, j float64) float64 {
+	if j <= 0 {
+		return mean
+	}
+	return mean * (1 - j + 2*j*rng.Float64())
+}
+
+// String renders the parameters.
+func (p Params) String() string {
+	return fmt.Sprintf("λ=%.3g/s E[e]=%.3g bps E[L]=%.3g s E[G]=%.3g bps",
+		p.Lambda, p.MeanRate, p.MeanDuration, p.MeanDownRate)
+}

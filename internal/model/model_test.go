@@ -1,0 +1,210 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func params() Params {
+	return Params{
+		Lambda:       0.2,  // sessions/s
+		MeanRate:     1e6,  // 1 Mbps
+		MeanDuration: 240,  // 4 min
+		MeanDownRate: 10e6, // 10 Mbps during ON periods
+	}
+}
+
+func TestClosedForms(t *testing.T) {
+	p := params()
+	if m := MeanAggregate(p); m != 0.2*1e6*240 {
+		t.Fatalf("E[R] = %v", m)
+	}
+	if v := VarAggregate(p); v != 0.2*1e6*240*10e6 {
+		t.Fatalf("Var[R] = %v", v)
+	}
+	d := Dimension(p, 2)
+	if d <= MeanAggregate(p) {
+		t.Fatal("dimensioning must exceed the mean")
+	}
+	want := MeanAggregate(p) + 2*math.Sqrt(VarAggregate(p))
+	if math.Abs(d-want) > 1e-6 {
+		t.Fatalf("Dimension = %v, want %v", d, want)
+	}
+}
+
+func TestCoVDecreasesWithEncodingRate(t *testing.T) {
+	// The paper's smoothness claim: raising E[e] raises the mean
+	// linearly but the std only by sqrt, so CoV falls.
+	lo, hi := params(), params()
+	hi.MeanRate = 4 * lo.MeanRate
+	if !(CoV(hi) < CoV(lo)) {
+		t.Fatalf("CoV(4x rate) = %v, CoV(1x) = %v; want smoother", CoV(hi), CoV(lo))
+	}
+	// Specifically, 4x the rate halves the CoV.
+	if r := CoV(hi) / CoV(lo); math.Abs(r-0.5) > 1e-9 {
+		t.Fatalf("CoV ratio = %v, want 0.5", r)
+	}
+}
+
+func TestInterruptionThresholdWorkedExample(t *testing.T) {
+	// Section 6.2's worked example: B' = 40 s, k = 1.25, β = 0.2
+	// gives L = 53.3 s.
+	got := InterruptionThreshold(40, 1.25, 0.2)
+	if math.Abs(got-53.333) > 0.01 {
+		t.Fatalf("threshold = %v, want 53.33", got)
+	}
+	if !math.IsInf(InterruptionThreshold(40, 5, 0.25), 1) {
+		t.Fatal("k*beta >= 1 must give +Inf")
+	}
+}
+
+func TestUnusedBytes(t *testing.T) {
+	// A short video fully downloaded before the user quits at 20%.
+	s := Session{Rate: 1e6, Duration: 50, Buffer: 40, Accum: 1.25, Beta: 0.2}
+	// Downloaded = min(40·e + 1.25·e·10, e·50) = e·50 (whole video);
+	// used = e·10; unused = e·40.
+	if got, want := UnusedBytes(s), 1e6*40.0; math.Abs(got-want) > 1 {
+		t.Fatalf("unused = %v, want %v", got, want)
+	}
+	// A long video: download truncated at interruption.
+	s.Duration = 1000
+	// Downloaded = e·(40 + 1.25·200) = e·290, used = e·200 -> e·90.
+	if got, want := UnusedBytes(s), 1e6*90.0; math.Abs(got-want) > 1 {
+		t.Fatalf("unused = %v, want %v", got, want)
+	}
+	// Watching everything wastes nothing beyond... beta→1 with k=1:
+	s = Session{Rate: 1e6, Duration: 100, Buffer: 0, Accum: 1, Beta: 0.999}
+	if got := UnusedBytes(s); got > 1e6*0.2 {
+		t.Fatalf("near-full watch should waste ~0, got %v", got)
+	}
+}
+
+func TestWasteRate(t *testing.T) {
+	draw := func(i int) Session {
+		return Session{Rate: 1e6, Duration: 1000, Buffer: 40, Accum: 1.25, Beta: 0.2}
+	}
+	got := WasteRate(0.1, 100, draw)
+	want := 0.1 * 1e6 * 90 // λ·E[unused]
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("waste = %v, want %v", got, want)
+	}
+	if WasteRate(0.1, 0, draw) != 0 {
+		t.Fatal("empty population must waste 0")
+	}
+}
+
+func simCfg(s Strategy) SimConfig {
+	return SimConfig{
+		Params:     params(),
+		Strategy:   s,
+		BlockBits:  64 << 13, // 64 kB in bits
+		Accum:      1.25,
+		Horizon:    12000,
+		Step:       1,
+		Seed:       7,
+		RateJitter: 0.3,
+		DurJitter:  0.3,
+	}
+}
+
+func TestSimulateMatchesMeanFormula(t *testing.T) {
+	for _, s := range []Strategy{Bulk, ShortCycles, LongCycles} {
+		cfg := simCfg(s)
+		if s == LongCycles {
+			cfg.BlockBits = 4 << 23 // 4 MB in bits
+		}
+		res := Simulate(cfg)
+		want := MeanAggregate(cfg.Params)
+		if rel := math.Abs(res.Mean-want) / want; rel > 0.08 {
+			t.Errorf("%v: mean %.3g vs formula %.3g (%.1f%% off)", s, res.Mean, want, rel*100)
+		}
+	}
+}
+
+func TestSimulateVarianceStrategyIndependent(t *testing.T) {
+	// Section 6.1's main claim: mean AND variance do not depend on the
+	// streaming strategy.
+	var got []SimResult
+	for _, s := range []Strategy{Bulk, ShortCycles, LongCycles} {
+		cfg := simCfg(s)
+		if s == LongCycles {
+			cfg.BlockBits = 4 << 23
+		}
+		got = append(got, Simulate(cfg))
+	}
+	want := VarAggregate(params())
+	for i, r := range got {
+		if rel := math.Abs(r.Var-want) / want; rel > 0.25 {
+			t.Errorf("strategy %d: variance %.3g vs formula %.3g (%.1f%% off)", i, r.Var, want, rel*100)
+		}
+	}
+	// Cross-strategy agreement should be tighter than agreement with
+	// the formula (same seed, same arrivals).
+	for i := 1; i < len(got); i++ {
+		if rel := math.Abs(got[i].Var-got[0].Var) / got[0].Var; rel > 0.2 {
+			t.Errorf("variance differs across strategies: %.3g vs %.3g", got[i].Var, got[0].Var)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := Simulate(simCfg(ShortCycles))
+	b := Simulate(simCfg(ShortCycles))
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Bulk.String() == "" || ShortCycles.String() == "" || LongCycles.String() == "" || Strategy(9).String() != "unknown" {
+		t.Fatal("strategy names")
+	}
+	if params().String() == "" {
+		t.Fatal("params string")
+	}
+}
+
+// Property: unused bytes are never negative and never exceed the video
+// size.
+func TestPropertyUnusedBounded(t *testing.T) {
+	f := func(rate, dur, buf, accumRaw, betaRaw uint16) bool {
+		s := Session{
+			Rate:     float64(rate%5000)*1e3 + 1e5,
+			Duration: float64(dur%3600) + 10,
+			Buffer:   float64(buf % 120),
+			Accum:    1 + float64(accumRaw%100)/100,
+			Beta:     float64(betaRaw%99+1) / 100,
+		}
+		u := UnusedBytes(s)
+		return u >= 0 && u <= s.Rate*s.Duration+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the dimensioning rule is monotone in α and in λ.
+func TestPropertyDimensionMonotone(t *testing.T) {
+	f := func(l1, l2, a1, a2 uint8) bool {
+		p1, p2 := params(), params()
+		p1.Lambda = float64(l1%100)/10 + 0.1
+		p2.Lambda = p1.Lambda + float64(l2%100)/10
+		alpha1 := float64(a1%50) / 10
+		alpha2 := alpha1 + float64(a2%50)/10
+		return Dimension(p2, alpha1) >= Dimension(p1, alpha1) &&
+			Dimension(p1, alpha2) >= Dimension(p1, alpha1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	cfg := simCfg(ShortCycles)
+	cfg.Horizon = 2000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Simulate(cfg)
+	}
+}

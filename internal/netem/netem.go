@@ -1,0 +1,230 @@
+// Package netem emulates network paths: rate-limited links with
+// propagation delay, finite drop-tail queues and stochastic loss, plus
+// the four vantage-network profiles used in the paper (Research,
+// Residence, Academic, Home). Capture taps observe packets at the
+// client side of the path, which is where tcpdump ran in the paper's
+// methodology.
+package netem
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Bandwidth is a link rate in bits per second.
+type Bandwidth float64
+
+const (
+	Kbps Bandwidth = 1e3
+	Mbps Bandwidth = 1e6
+	Gbps Bandwidth = 1e9
+)
+
+// TxTime returns the serialization time of n bytes at rate b.
+func (b Bandwidth) TxTime(n int) time.Duration {
+	if b <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) * 8 / float64(b) * float64(time.Second))
+}
+
+// BytesIn returns how many bytes the link can carry in d.
+func (b Bandwidth) BytesIn(d time.Duration) int {
+	return int(float64(b) / 8 * d.Seconds())
+}
+
+// Receiver consumes packets delivered by a link.
+type Receiver interface {
+	Deliver(seg *packet.Segment)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(*packet.Segment)
+
+// Deliver implements Receiver.
+func (f ReceiverFunc) Deliver(seg *packet.Segment) { f(seg) }
+
+// LossModel decides whether a packet entering a link is dropped.
+type LossModel interface {
+	Drop(rng *rand.Rand) bool
+}
+
+// NoLoss never drops.
+type NoLoss struct{}
+
+// Drop implements LossModel.
+func (NoLoss) Drop(*rand.Rand) bool { return false }
+
+// RandomLoss drops each packet independently with probability Rate.
+type RandomLoss struct{ Rate float64 }
+
+// Drop implements LossModel.
+func (l RandomLoss) Drop(rng *rand.Rand) bool {
+	return l.Rate > 0 && rng.Float64() < l.Rate
+}
+
+// GilbertElliott is a two-state bursty loss model: in the Bad state
+// packets drop with PBad, in Good with PGood; state transitions happen
+// per packet with the given probabilities. It exercises the paper's
+// observation that correlated losses merge adjacent ON-OFF cycles.
+type GilbertElliott struct {
+	PGoodToBad, PBadToGood float64
+	PGood, PBad            float64
+	bad                    bool
+}
+
+// Drop implements LossModel.
+func (g *GilbertElliott) Drop(rng *rand.Rand) bool {
+	if g.bad {
+		if rng.Float64() < g.PBadToGood {
+			g.bad = false
+		}
+	} else {
+		if rng.Float64() < g.PGoodToBad {
+			g.bad = true
+		}
+	}
+	p := g.PGood
+	if g.bad {
+		p = g.PBad
+	}
+	return p > 0 && rng.Float64() < p
+}
+
+// Tap observes packets traversing a link (after the loss decision, so
+// dropped packets are not captured — exactly what tcpdump at the client
+// would have seen for the downstream direction).
+type Tap interface {
+	Capture(at time.Duration, seg *packet.Segment)
+}
+
+// Link is a unidirectional path segment: a drop-tail queue drained at
+// Rate, followed by propagation Delay. The zero value is not usable.
+type Link struct {
+	sch       *sim.Scheduler
+	rate      Bandwidth
+	delay     time.Duration
+	queueCap  int // bytes; 0 means unlimited
+	queued    int // bytes accepted but not yet fully serialized
+	busyUntil time.Duration
+	loss      LossModel
+	dst       Receiver
+	taps      []Tap
+
+	// Counters for tests and diagnostics.
+	Sent    int
+	Dropped int
+	Bytes   int64
+}
+
+// NewLink builds a link delivering to dst.
+func NewLink(sch *sim.Scheduler, rate Bandwidth, delay time.Duration, queueBytes int, loss LossModel, dst Receiver) *Link {
+	if loss == nil {
+		loss = NoLoss{}
+	}
+	return &Link{sch: sch, rate: rate, delay: delay, queueCap: queueBytes, loss: loss, dst: dst}
+}
+
+// AddTap registers a capture tap on the link.
+func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
+
+// SetLoss replaces the loss model (used by failure-injection tests).
+func (l *Link) SetLoss(m LossModel) {
+	if m == nil {
+		m = NoLoss{}
+	}
+	l.loss = m
+}
+
+// QueueDepth returns the bytes currently enqueued or in serialization.
+func (l *Link) QueueDepth() int { return l.queued }
+
+// Send enqueues a segment. Loss and queue overflow silently drop it,
+// as a real network would.
+func (l *Link) Send(seg *packet.Segment) {
+	size := seg.WireLen()
+	if l.loss.Drop(l.sch.Rand()) {
+		l.Dropped++
+		return
+	}
+	if l.queueCap > 0 && l.queued+size > l.queueCap {
+		l.Dropped++
+		return
+	}
+	for _, t := range l.taps {
+		t.Capture(l.sch.Now(), seg)
+	}
+	l.queued += size
+	l.Sent++
+	l.Bytes += int64(size)
+	start := l.busyUntil
+	if now := l.sch.Now(); start < now {
+		start = now
+	}
+	done := start + l.rate.TxTime(size)
+	l.busyUntil = done
+	arrive := done + l.delay
+	l.sch.At(done, func() { l.queued -= size })
+	l.sch.At(arrive, func() { l.dst.Deliver(seg) })
+}
+
+// Path is a bidirectional network between a client and a server,
+// composed of one link per direction. By the paper's conventions the
+// client is the measurement vantage point.
+type Path struct {
+	Down *Link // server -> client
+	Up   *Link // client -> server
+}
+
+// Profile describes a vantage network. Rates are the observed
+// bottleneck rates from Section 4.2; RTT and loss are chosen to match
+// the paper's reported retransmission medians (Residence 1.02%,
+// Academic 0.76%, others low).
+type Profile struct {
+	Name     string
+	Down, Up Bandwidth
+	RTT      time.Duration
+	Loss     float64
+	Queue    int // bytes of bottleneck buffering per direction
+}
+
+// The four vantage networks of Section 4.2.
+var (
+	// Research: 100 Mbps wired behind a 500 Mbps uplink, in France.
+	Research = Profile{Name: "Research", Down: 100 * Mbps, Up: 100 * Mbps, RTT: 30 * time.Millisecond, Loss: 0.00005, Queue: 1536 << 10}
+	// Residence: 54 Mbps Wi-Fi behind ADSL, 7.7 down / 1.2 up Mbps.
+	Residence = Profile{Name: "Residence", Down: 7.7 * Mbps, Up: 1.2 * Mbps, RTT: 60 * time.Millisecond, Loss: 0.004, Queue: 192 << 10}
+	// Academic: 100 Mbps wired behind 1 Gbps, in the USA.
+	Academic = Profile{Name: "Academic", Down: 100 * Mbps, Up: 100 * Mbps, RTT: 80 * time.Millisecond, Loss: 0.0005, Queue: 1536 << 10}
+	// Home: cable modem on Comcast, ~20 down / 3 up Mbps. The deep
+	// queue reflects the notoriously bufferbloated 2011 DOCSIS gear.
+	Home = Profile{Name: "Home", Down: 20 * Mbps, Up: 3 * Mbps, RTT: 45 * time.Millisecond, Loss: 0.00005, Queue: 3072 << 10}
+)
+
+// Profiles lists the vantage networks in the paper's presentation order.
+func Profiles() []Profile { return []Profile{Research, Residence, Academic, Home} }
+
+// ProfileByName looks a profile up; ok is false for unknown names.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// NewPath wires a duplex path with the profile's characteristics.
+// Propagation delay is split evenly per direction; loss applies to the
+// downstream (data) direction and one tenth of it upstream, since ACK
+// loss was not a reported artefact.
+func NewPath(sch *sim.Scheduler, p Profile, client, server Receiver) *Path {
+	half := p.RTT / 2
+	return &Path{
+		Down: NewLink(sch, p.Down, half, p.Queue, RandomLoss{Rate: p.Loss}, client),
+		Up:   NewLink(sch, p.Up, half, p.Queue, RandomLoss{Rate: p.Loss / 10}, server),
+	}
+}

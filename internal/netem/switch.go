@@ -1,0 +1,67 @@
+package netem
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Switch routes delivered packets to receivers by destination address,
+// letting many client hosts share one bottleneck link — the topology
+// needed to study how concurrent streaming sessions interact (the
+// aggregate-traffic experiments and the paper's future-work question
+// about strategy-induced loss).
+type Switch struct {
+	routes map[[4]byte]Receiver
+	// Unrouted counts packets with no matching destination.
+	Unrouted int
+}
+
+// NewSwitch returns an empty switch.
+func NewSwitch() *Switch {
+	return &Switch{routes: make(map[[4]byte]Receiver)}
+}
+
+// Route registers the receiver for a destination address.
+func (s *Switch) Route(addr [4]byte, r Receiver) { s.routes[addr] = r }
+
+// Deliver implements Receiver.
+func (s *Switch) Deliver(seg *packet.Segment) {
+	if r, ok := s.routes[seg.Dst.Addr]; ok {
+		r.Deliver(seg)
+		return
+	}
+	s.Unrouted++
+}
+
+// Dumbbell is a shared-bottleneck topology: every client reaches the
+// server through one downstream/upstream link pair, so concurrent
+// sessions compete for the same drop-tail queue — where strategy
+// burstiness turns into loss.
+type Dumbbell struct {
+	Down *Link // server -> clients (shared)
+	Up   *Link // clients -> server (shared)
+	sw   *Switch
+}
+
+// NewDumbbell builds the topology with the profile's rates, queue and
+// loss. Clients are attached with Attach; the server receives
+// everything sent on Up.
+func NewDumbbell(sch *sim.Scheduler, p Profile, server Receiver) *Dumbbell {
+	sw := NewSwitch()
+	half := p.RTT / 2
+	return &Dumbbell{
+		sw:   sw,
+		Down: NewLink(sch, p.Down, half, p.Queue, RandomLoss{Rate: p.Loss}, sw),
+		Up:   NewLink(sch, p.Up, half, p.Queue, RandomLoss{Rate: p.Loss / 10}, server),
+	}
+}
+
+// Attach registers a client receiver for its address and returns the
+// link it must transmit on (the shared Up link).
+func (d *Dumbbell) Attach(addr [4]byte, client Receiver) *Link {
+	d.sw.Route(addr, client)
+	return d.Up
+}
+
+// Unrouted exposes the switch's unrouted-packet counter.
+func (d *Dumbbell) Unrouted() int { return d.sw.Unrouted }

@@ -1,0 +1,254 @@
+package player
+
+import (
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/media"
+	"repro/internal/service"
+	"repro/internal/tcp"
+)
+
+// netflixBase carries the machinery shared by the three Netflix
+// clients: fragment fetching over fresh or reused connections and the
+// periodic steady-state request schedule. Per the paper (Section 5.2),
+// the differences between PC, iPad and Android are (a) how many ladder
+// bitrates the buffering phase downloads, (b) the per-request block
+// size, and (c) whether connections are churned (PC/iPad, giving ACK
+// clocks on fresh connections) or kept (Android).
+type netflixBase struct {
+	env        *Env
+	video      media.Video
+	downloaded int64
+	done       bool
+
+	// configuration
+	ladder     []float64 // bitrates fetched during buffering
+	chosen     float64   // steady-state bitrate
+	bufFrags   int       // fragments per ladder rung during buffering
+	steadySecs float64   // extra seconds of chosen rate in buffering
+	fragsPerGo int       // fragments per steady-state request burst
+	newConnPer bool      // fresh TCP connection per request
+	adaptive   bool      // re-pick the steady bitrate from measured throughput
+	recvBuf    int
+
+	nextFrag   int
+	totalFrags int
+	busy       bool              // a fetch group is still in flight
+	conn       *httpx.ClientConn // persistent connection when !newConnPer
+}
+
+// Downloaded implements part of Player.
+func (nb *netflixBase) Downloaded() int64 { return nb.downloaded }
+
+func (nb *netflixBase) start(env *Env, v media.Video) {
+	nb.env = env
+	nb.video = v
+	nb.totalFrags = int(v.Duration / service.FragmentDuration)
+	// Buffering runs in two pipelined groups on one connection:
+	// first the ladder probe (fragments of every configured rung —
+	// Akhshabi et al. observed all encoding rates being fetched at
+	// session start), then a stretch of the chosen rate. Between the
+	// two, an adaptive client re-picks the steady-state bitrate from
+	// the throughput the probe measured — the bandwidth dependence of
+	// Netflix encoding rates the paper notes in Section 5 [11].
+	var probe []fragJob
+	for f := 0; f < nb.bufFrags; f++ {
+		for _, rate := range nb.ladder {
+			probe = append(probe, fragJob{rate, f})
+		}
+	}
+	cc := openConn(env, tcp.Config{RecvBuf: nb.recvBuf})
+	if !nb.newConnPer {
+		nb.conn = cc
+	}
+	t0 := env.Sch.Now()
+	nb.fetchGroup(cc, probe, false, func() {
+		if nb.adaptive && nb.downloaded > 0 {
+			if elapsed := env.Sch.Now() - t0; elapsed > 0 {
+				thr := float64(nb.downloaded) * 8 / elapsed.Seconds()
+				nb.chosen = sustainableRung(nb.ladder, thr)
+			}
+		}
+		var fill []fragJob
+		extra := int(nb.steadySecs / service.FragmentDuration.Seconds())
+		for f := nb.bufFrags; f < nb.bufFrags+extra && f < nb.totalFrags; f++ {
+			fill = append(fill, fragJob{nb.chosen, f})
+		}
+		nb.nextFrag = nb.bufFrags + extra
+		nb.fetchGroup(cc, fill, nb.newConnPer, func() { nb.steadyState() })
+	})
+}
+
+// sustainableRung picks the highest ladder bitrate that fits within
+// 80% of the measured throughput, falling back to the lowest rung.
+func sustainableRung(ladder []float64, throughput float64) float64 {
+	best := ladder[0]
+	for _, r := range ladder {
+		if r <= 0.8*throughput && r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// fragJob names one fragment to fetch.
+type fragJob struct {
+	bitrate float64
+	index   int
+}
+
+// fetchGroup pipelines the jobs' requests on cc, reads all bodies
+// greedily, optionally closes the connection, then calls done.
+func (nb *netflixBase) fetchGroup(cc *httpx.ClientConn, jobs []fragJob, closeAfter bool, done func()) {
+	if len(jobs) == 0 {
+		done()
+		return
+	}
+	var expect int64
+	for _, j := range jobs {
+		expect += service.FragmentBytes(j.bitrate)
+	}
+	var got int64
+	fired := false
+	nb.busy = true
+	cc.OnBody(func(avail int) {
+		n := cc.DiscardBody(avail)
+		nb.downloaded += int64(n)
+		got += int64(n)
+		if !fired && got >= expect {
+			fired = true
+			nb.busy = false
+			if closeAfter {
+				cc.Conn.Close()
+			}
+			done()
+		}
+	})
+	for _, j := range jobs {
+		cc.Get(service.FragPath(nb.video.ID, j.bitrate, j.index), nil)
+	}
+}
+
+// steadyState requests fragsPerGo fragments of the chosen bitrate
+// every fragsPerGo*FragmentDuration — real-time pacing with a small
+// accumulation margin. PC and iPad use a fresh connection per burst
+// (the paper observed heavy connection churn and ACK clocks on new
+// connections); Android reuses its single connection.
+func (nb *netflixBase) steadyState() {
+	if nb.nextFrag >= nb.totalFrags {
+		nb.done = true
+		return
+	}
+	const accum = 1.1
+	period := time.Duration(float64(nb.fragsPerGo) * float64(service.FragmentDuration) / accum)
+	var tick func()
+	tick = func() {
+		if nb.done || nb.nextFrag >= nb.totalFrags {
+			nb.done = true
+			return
+		}
+		if nb.busy {
+			// The previous fetch overran its period (loss, congestion):
+			// back off one period instead of stacking requests, the way
+			// a real player limits its buffer level.
+			nb.env.Sch.After(period, tick)
+			return
+		}
+		var jobs []fragJob
+		for i := 0; i < nb.fragsPerGo && nb.nextFrag < nb.totalFrags; i++ {
+			jobs = append(jobs, fragJob{nb.chosen, nb.nextFrag})
+			nb.nextFrag++
+		}
+		cc := nb.conn
+		if nb.newConnPer || cc == nil {
+			cc = openConn(nb.env, tcp.Config{RecvBuf: nb.recvBuf})
+		}
+		nb.fetchGroup(cc, jobs, nb.newConnPer, func() {})
+		nb.env.Sch.After(period, tick)
+	}
+	nb.env.Sch.After(period, tick)
+}
+
+// SilverlightPC is Netflix in a browser via Silverlight: buffering
+// downloads every ladder rung (~50 MB, Figure 11a), steady state
+// fetches one fragment at a time over fresh connections (short ON-OFF,
+// blocks < 2.5 MB, Figure 12a). The browser name is a label only —
+// the paper found the strategy browser-independent.
+type SilverlightPC struct {
+	Browser string
+	netflixBase
+}
+
+// NewSilverlightPC builds the PC client model.
+func NewSilverlightPC(browser string) *SilverlightPC {
+	s := &SilverlightPC{Browser: browser}
+	s.ladder = media.NetflixLadder
+	s.chosen = media.NetflixLadder[len(media.NetflixLadder)-1]
+	s.bufFrags = 4
+	s.steadySecs = 60
+	s.fragsPerGo = 1
+	s.newConnPer = true
+	s.adaptive = true
+	s.recvBuf = 2 << 20
+	return s
+}
+
+// Name implements Player.
+func (s *SilverlightPC) Name() string { return "Silverlight (" + s.Browser + ")" }
+
+// Start implements Player.
+func (s *SilverlightPC) Start(env *Env, v media.Video) { s.start(env, v) }
+
+// NetflixIPad is the native iPad app: it buffers only a subset of the
+// ladder (~10 MB, Figure 11a) and then behaves like the PC client
+// (short ON-OFF over fresh connections).
+type NetflixIPad struct{ netflixBase }
+
+// NewNetflixIPad builds the iPad client model.
+func NewNetflixIPad() *NetflixIPad {
+	n := &NetflixIPad{}
+	n.ladder = media.NetflixLadder[2:4] // mid rungs only
+	n.chosen = media.NetflixLadder[3]
+	n.bufFrags = 2
+	n.steadySecs = 16
+	n.fragsPerGo = 1
+	n.newConnPer = true
+	n.adaptive = true
+	n.recvBuf = 1 << 20
+	return n
+}
+
+// Name implements Player.
+func (n *NetflixIPad) Name() string { return "Netflix app (iPad)" }
+
+// Start implements Player.
+func (n *NetflixIPad) Start(env *Env, v media.Video) { n.start(env, v) }
+
+// NetflixAndroid is the native Android app: a large single-rate
+// buffering phase (~40 MB, Figure 11b) and long ON-OFF cycles — four
+// fragments per request burst on one persistent connection
+// (Figure 10b/12b).
+type NetflixAndroid struct{ netflixBase }
+
+// NewNetflixAndroid builds the Android client model.
+func NewNetflixAndroid() *NetflixAndroid {
+	n := &NetflixAndroid{}
+	n.ladder = media.NetflixLadder[3:4]
+	n.chosen = media.NetflixLadder[3]
+	n.bufFrags = 0
+	n.steadySecs = 120
+	n.fragsPerGo = 4
+	n.newConnPer = false
+	n.recvBuf = 2 << 20
+	return n
+}
+
+// Name implements Player.
+func (n *NetflixAndroid) Name() string { return "Netflix app (Android)" }
+
+// Start implements Player.
+func (n *NetflixAndroid) Start(env *Env, v media.Video) { n.start(env, v) }
+
+// Compile-time interface checks.
+var _ = []Player{(*SilverlightPC)(nil), (*NetflixIPad)(nil), (*NetflixAndroid)(nil)}

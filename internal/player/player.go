@@ -1,0 +1,129 @@
+// Package player implements the client applications whose read/pull
+// behaviour determines the streaming strategy (Table 1): browser
+// players (Flash plugin, IE/Firefox/Chrome HTML5), the native YouTube
+// apps (Android, iPad) and the Netflix clients (Silverlight on PCs,
+// native iPad and Android apps).
+//
+// The central mechanism is read pacing: a player that stops reading
+// lets the TCP receive buffer fill, the advertised window closes, and
+// the server stalls — producing the OFF periods of Section 3 without
+// any server cooperation. Server-paced strategies (Flash) read
+// continuously and inherit the server's ON-OFF schedule instead.
+package player
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/media"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Env is everything a player needs to stream one video.
+type Env struct {
+	Sch    *sim.Scheduler
+	Host   *tcp.Host       // client-side host
+	Server packet.Endpoint // service address (port 80)
+}
+
+// Rand returns the deterministic per-run random source.
+func (e *Env) Rand() *rand.Rand { return e.Sch.Rand() }
+
+// Player is a client application model.
+type Player interface {
+	// Name identifies the application (Table 1 row labels).
+	Name() string
+	// Start begins streaming the video; it returns immediately and
+	// drives itself with scheduler callbacks.
+	Start(env *Env, v media.Video)
+	// Downloaded reports total media bytes consumed so far.
+	Downloaded() int64
+}
+
+// puller implements read pacing over one ClientConn: an initial
+// continuous phase until bufferingTarget bytes, then fixed-size pulls
+// on a timer calibrated to accumulation ratio accum.
+type puller struct {
+	env    *Env
+	cc     *httpx.ClientConn
+	video  media.Video
+	target int64 // buffering phase bytes (0 = read everything)
+	pullB  int64 // steady-state pull size (0 = always continuous)
+	accum  float64
+
+	downloaded int64
+	allowance  int64 // bytes currently allowed to be consumed
+	buffering  bool
+	done       bool
+}
+
+// startPulling wires the puller to the connection and begins the
+// buffering phase.
+func (p *puller) startPulling() {
+	p.buffering = true
+	p.allowance = 1<<62 - 1 // unconstrained during buffering
+	p.cc.OnBody(func(int) { p.drain() })
+}
+
+func (p *puller) drain() {
+	if p.done {
+		return
+	}
+	for {
+		want := p.allowance
+		if want <= 0 {
+			break
+		}
+		if want > 1<<30 {
+			want = 1 << 30
+		}
+		n := p.cc.DiscardBody(int(want))
+		if n == 0 {
+			break
+		}
+		p.downloaded += int64(n)
+		if !p.buffering {
+			p.allowance -= int64(n)
+		}
+		if p.buffering && p.pullB > 0 && p.target > 0 && p.downloaded >= p.target {
+			p.enterSteadyState()
+			break
+		}
+	}
+	if p.cc.BodyRemaining() == 0 && p.downloaded > 0 {
+		p.done = true
+	}
+}
+
+func (p *puller) enterSteadyState() {
+	p.buffering = false
+	p.allowance = 0
+	period := time.Duration(float64(p.pullB) * 8 / (p.accum * p.video.EncodingRate) * float64(time.Second))
+	var tick func()
+	tick = func() {
+		if p.done {
+			return
+		}
+		p.allowance += p.pullB
+		p.drain()
+		if !p.done {
+			p.env.Sch.After(period, tick)
+		}
+	}
+	p.env.Sch.After(period, tick)
+}
+
+// openConn dials the service and returns a ClientConn.
+func openConn(env *Env, cfg tcp.Config) *httpx.ClientConn {
+	return httpx.NewClientConn(env.Host.Dial(cfg, env.Server))
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

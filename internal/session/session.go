@@ -1,0 +1,117 @@
+// Package session orchestrates one streaming measurement exactly like
+// the paper's methodology (Section 4.2): set up a vantage network,
+// start the capture, start the player, stream for 180 seconds, stop,
+// and hand the trace to the analyzer.
+package session
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/player"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// ServiceKind selects which service backend serves the video.
+type ServiceKind int
+
+// The two services.
+const (
+	YouTube ServiceKind = iota
+	Netflix
+)
+
+func (k ServiceKind) String() string {
+	if k == YouTube {
+		return "YouTube"
+	}
+	return "Netflix"
+}
+
+// DefaultDuration is the paper's per-video capture time.
+const DefaultDuration = 180 * time.Second
+
+// Config describes one streaming session.
+type Config struct {
+	Video   media.Video
+	Service ServiceKind
+	Player  player.Player
+	Network netem.Profile
+	// Duration bounds the capture; 0 means DefaultDuration (180 s).
+	Duration time.Duration
+	// Seed makes the run reproducible.
+	Seed int64
+	// ServerTCP overrides the server-side TCP configuration (the
+	// IdleReset ablation flips a field here).
+	ServerTCP tcp.Config
+}
+
+// Result carries everything a measurement produced.
+type Result struct {
+	Config   Config
+	Trace    *trace.Trace
+	Analysis *analysis.Result
+	// Downloaded is the player-side consumed byte count.
+	Downloaded int64
+	Elapsed    time.Duration
+}
+
+// ClientAddr is the measurement vantage address used in captures.
+var ClientAddr = [4]byte{10, 0, 0, 1}
+
+// ServerAddr is the service address.
+var ServerAddr = [4]byte{203, 0, 113, 10}
+
+// Run executes the session and analyzes the capture.
+func Run(cfg Config) *Result {
+	if cfg.Duration <= 0 {
+		cfg.Duration = DefaultDuration
+	}
+	sch := sim.NewScheduler(cfg.Seed)
+	client := tcp.NewHost(sch, ClientAddr[0], ClientAddr[1], ClientAddr[2], ClientAddr[3])
+	server := tcp.NewHost(sch, ServerAddr[0], ServerAddr[1], ServerAddr[2], ServerAddr[3])
+	path := netem.NewPath(sch, cfg.Network, client, server)
+	client.SetLink(path.Up)
+	server.SetLink(path.Down)
+
+	// tcpdump at the client vantage point.
+	tr := &trace.Trace{}
+	path.Down.AddTap(tr.Tap(trace.Down))
+	path.Up.AddTap(tr.Tap(trace.Up))
+
+	switch cfg.Service {
+	case YouTube:
+		service.NewYouTube(server, cfg.ServerTCP, []media.Video{cfg.Video})
+	case Netflix:
+		service.NewNetflix(server, cfg.ServerTCP, []media.Video{cfg.Video})
+	}
+
+	env := &player.Env{Sch: sch, Host: client, Server: packet.Endpoint{Addr: ServerAddr, Port: 80}}
+	cfg.Player.Start(env, cfg.Video)
+	sch.RunUntil(cfg.Duration)
+
+	res := &Result{
+		Config:     cfg,
+		Trace:      tr,
+		Downloaded: cfg.Player.Downloaded(),
+		Elapsed:    sch.Now(),
+	}
+	res.Analysis = analysis.Analyze(tr, analysis.Config{
+		KnownDuration: cfg.Video.Duration,
+		KnownRate:     cfg.Video.EncodingRate,
+	})
+	return res
+}
+
+// WritePcap saves the capture with a payload-preserving snaplen so
+// container headers survive for offline analysis.
+func (r *Result) WritePcap(w io.Writer) error {
+	return r.Trace.WritePcap(w, 0)
+}

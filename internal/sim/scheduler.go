@@ -1,0 +1,196 @@
+// Package sim provides a deterministic discrete-event scheduler used by
+// every other substrate in this repository. Virtual time is a
+// time.Duration offset from the start of the simulation; events fire in
+// (time, insertion-order) order, so runs with the same seed are fully
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// event is a scheduled callback. seq breaks ties between events
+// scheduled for the same instant so ordering is deterministic.
+type event struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the callback had not yet
+// fired (and therefore will never fire). Stopping an already-fired or
+// already-stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.stopped || t.ev.index == -1 && t.ev.fn == nil {
+		return false
+	}
+	if t.ev.stopped {
+		return false
+	}
+	fired := t.ev.index == -1
+	t.ev.stopped = true
+	return !fired
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.stopped && t.ev.index != -1
+}
+
+// Scheduler is a single-threaded discrete-event loop. The zero value is
+// not usable; call NewScheduler.
+type Scheduler struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+}
+
+// NewScheduler returns a scheduler whose clock starts at zero and whose
+// random source is seeded with seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it is always a logic error in a discrete-event model.
+func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step runs the single earliest pending event. It reports whether an
+// event was run.
+func (s *Scheduler) Step() bool {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.stopped {
+			continue
+		}
+		s.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until none remain or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= deadline and then
+// advances the clock to deadline. Events scheduled after deadline stay
+// pending.
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	s.stopped = false
+	for !s.stopped {
+		if s.events.Len() == 0 {
+			break
+		}
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+func (s *Scheduler) peek() *event {
+	for s.events.Len() > 0 {
+		ev := s.events[0]
+		if ev.stopped {
+			heap.Pop(&s.events)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// Stop aborts a Run or RunUntil in progress after the current event.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Pending returns the number of live scheduled events.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if !ev.stopped {
+			n++
+		}
+	}
+	return n
+}

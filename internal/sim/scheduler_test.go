@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerTieBreakFIFO(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSchedulerAfterRelative(t *testing.T) {
+	s := NewScheduler(1)
+	var at time.Duration
+	s.After(5*time.Millisecond, func() {
+		s.After(7*time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 12*time.Millisecond {
+		t.Fatalf("nested After fired at %v, want 12ms", at)
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler(1)
+	s.At(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5*time.Millisecond, func() {})
+	})
+	s.Run()
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	tm := s.After(10*time.Millisecond, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report true for a pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := NewScheduler(1)
+	tm := s.After(time.Millisecond, func() {})
+	s.Run()
+	if tm.Active() {
+		t.Fatal("fired timer still active")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire should report false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		d := d * time.Millisecond
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(25 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25ms) fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 25*time.Millisecond {
+		t.Fatalf("clock = %v, want 25ms", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+	s.RunUntil(100 * time.Millisecond)
+	if len(fired) != 4 {
+		t.Fatalf("second RunUntil fired %d total, want 4", len(fired))
+	}
+}
+
+func TestStopAbortsRun(t *testing.T) {
+	s := NewScheduler(1)
+	n := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {
+			n++
+			if n == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if n != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := NewScheduler(seed)
+		var out []int64
+		var tick func()
+		tick = func() {
+			out = append(out, s.Rand().Int63n(1000))
+			if len(out) < 50 {
+				s.After(time.Duration(s.Rand().Intn(100))*time.Microsecond, tick)
+			}
+		}
+		s.After(0, tick)
+		s.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any batch of events with arbitrary delays, Run fires
+// them in nondecreasing time order and the clock ends at the max delay.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		s := NewScheduler(7)
+		var fired []time.Duration
+		var maxT time.Duration
+		for _, d := range delays {
+			at := time.Duration(d) * time.Microsecond
+			if at > maxT {
+				maxT = at
+			}
+			s.At(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return s.Now() == maxT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := NewScheduler(1)
+	b.ReportAllocs()
+	var next func()
+	count := 0
+	next = func() {
+		count++
+		if count < b.N {
+			s.After(time.Microsecond, next)
+		}
+	}
+	s.After(0, next)
+	s.Run()
+}

@@ -1,0 +1,184 @@
+package tcp
+
+// Byte buffers shared by sender and receiver sides. Bulk media bytes
+// are zero-filled: WriteZero appends windows onto a shared read-only
+// zero page, so a 200 MB simulated video costs a few dozen slice
+// headers rather than 200 MB of heap.
+
+const zeroPageSize = 256 << 10
+
+var zeroPage = make([]byte, zeroPageSize)
+
+// sendBuffer stores the outgoing byte stream indexed by absolute
+// stream offset so retransmissions can re-slice any unacknowledged
+// range. Chunks below the acknowledged offset are released.
+type sendBuffer struct {
+	chunks []sendChunk
+	start  int64 // stream offset of chunks[0][0]
+	end    int64 // stream offset one past the last byte
+}
+
+type sendChunk struct {
+	off  int64
+	data []byte
+}
+
+// Len returns the total stream length appended so far.
+func (b *sendBuffer) Len() int64 { return b.end }
+
+// Unsent returns bytes at or beyond offset off.
+func (b *sendBuffer) Unsent(off int64) int64 { return b.end - off }
+
+// Append adds data (not copied; callers must not mutate it).
+func (b *sendBuffer) Append(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	b.chunks = append(b.chunks, sendChunk{off: b.end, data: data})
+	b.end += int64(len(data))
+}
+
+// AppendZero adds n zero bytes backed by the shared zero page.
+func (b *sendBuffer) AppendZero(n int) {
+	for n > 0 {
+		take := n
+		if take > zeroPageSize {
+			take = zeroPageSize
+		}
+		b.Append(zeroPage[:take])
+		n -= take
+	}
+}
+
+// Release drops storage for bytes below offset off (they were acked).
+func (b *sendBuffer) Release(off int64) {
+	i := 0
+	for i < len(b.chunks) && b.chunks[i].off+int64(len(b.chunks[i].data)) <= off {
+		i++
+	}
+	if i > 0 {
+		b.chunks = b.chunks[i:]
+	}
+	b.start = off
+}
+
+// Slice returns up to n bytes starting at absolute offset off. The
+// returned slice aliases buffer storage when the range lies in one
+// chunk (the common case) and is copied when it spans chunks. ok is
+// false when off is out of range.
+func (b *sendBuffer) Slice(off int64, n int) ([]byte, bool) {
+	if off < b.start || off >= b.end || n <= 0 {
+		return nil, false
+	}
+	if avail := b.end - off; int64(n) > avail {
+		n = int(avail)
+	}
+	// Binary search for the chunk containing off.
+	lo, hi := 0, len(b.chunks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c := b.chunks[mid]
+		if off < c.off {
+			hi = mid
+		} else if off >= c.off+int64(len(c.data)) {
+			lo = mid + 1
+		} else {
+			lo = mid
+			break
+		}
+	}
+	c := b.chunks[lo]
+	rel := int(off - c.off)
+	if rel+n <= len(c.data) {
+		return c.data[rel : rel+n], true
+	}
+	// Spans chunks: copy.
+	out := make([]byte, 0, n)
+	out = append(out, c.data[rel:]...)
+	for i := lo + 1; i < len(b.chunks) && len(out) < n; i++ {
+		take := minInt(n-len(out), len(b.chunks[i].data))
+		out = append(out, b.chunks[i].data[:take]...)
+	}
+	return out, true
+}
+
+// recvBuffer stores in-order received bytes until the application
+// reads them. Capacity is enforced by the advertised window, not here.
+type recvBuffer struct {
+	chunks   [][]byte
+	headOff  int // bytes of chunks[0] already consumed
+	buffered int
+}
+
+// Len returns the number of readable bytes.
+func (b *recvBuffer) Len() int { return b.buffered }
+
+// Push appends received payload (aliased, not copied).
+func (b *recvBuffer) Push(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	b.chunks = append(b.chunks, data)
+	b.buffered += len(data)
+}
+
+// PushZero appends n zero bytes.
+func (b *recvBuffer) PushZero(n int) {
+	for n > 0 {
+		take := minInt(n, zeroPageSize)
+		b.Push(zeroPage[:take])
+		n -= take
+	}
+}
+
+// Discard consumes up to n bytes without materializing them, returning
+// the number consumed. Players use this for bulk media bytes.
+func (b *recvBuffer) Discard(n int) int {
+	consumed := 0
+	for n > 0 && len(b.chunks) > 0 {
+		head := b.chunks[0]
+		avail := len(head) - b.headOff
+		take := minInt(avail, n)
+		b.headOff += take
+		consumed += take
+		n -= take
+		if b.headOff == len(head) {
+			b.chunks[0] = nil
+			b.chunks = b.chunks[1:]
+			b.headOff = 0
+		}
+	}
+	b.buffered -= consumed
+	return consumed
+}
+
+// Read copies up to len(p) bytes into p. HTTP header parsing uses this.
+func (b *recvBuffer) Read(p []byte) int {
+	read := 0
+	for read < len(p) && len(b.chunks) > 0 {
+		head := b.chunks[0]
+		n := copy(p[read:], head[b.headOff:])
+		b.headOff += n
+		read += n
+		if b.headOff == len(head) {
+			b.chunks[0] = nil
+			b.chunks = b.chunks[1:]
+			b.headOff = 0
+		}
+	}
+	b.buffered -= read
+	return read
+}
+
+// Peek copies up to len(p) bytes without consuming them.
+func (b *recvBuffer) Peek(p []byte) int {
+	read := 0
+	off := b.headOff
+	for i := 0; read < len(p) && i < len(b.chunks); i++ {
+		head := b.chunks[i]
+		n := copy(p[read:], head[off:])
+		read += n
+		off = 0
+	}
+	return read
+}

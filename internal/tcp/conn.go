@@ -1,0 +1,835 @@
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Callbacks notify the application of connection events. All callbacks
+// run on the scheduler goroutine; nil callbacks are skipped.
+type Callbacks struct {
+	// OnConnected fires once when the handshake completes.
+	OnConnected func()
+	// OnReadable fires whenever new in-order bytes become readable.
+	OnReadable func()
+	// OnAcked fires when previously written bytes are acknowledged,
+	// with the newly acknowledged count.
+	OnAcked func(n int)
+	// OnRemoteClose fires when the peer's FIN is received (all data
+	// before it has been delivered).
+	OnRemoteClose func()
+	// OnClosed fires when the connection fully closes (our FIN acked,
+	// or reset).
+	OnClosed func()
+}
+
+// Conn is one endpoint of a simulated TCP connection.
+type Conn struct {
+	host  *Host
+	cfg   Config
+	cb    Callbacks
+	local packet.Endpoint
+	peer  packet.Endpoint
+	state State
+
+	// Send state. Stream offsets are int64 from 0; the wire sequence
+	// of offset x is iss+1+x.
+	iss     uint32
+	sndUna  int64 // lowest unacknowledged stream offset
+	sndNxt  int64 // next stream offset to send
+	maxSent int64 // high-water mark of transmitted offsets (for RTO rollback)
+	sndWnd  int   // peer-advertised window in bytes
+	sndBuf  sendBuffer
+	finAt   int64 // stream offset of FIN, -1 if not closing
+	finSent bool
+
+	// Congestion control.
+	cwnd       int
+	ssthresh   int
+	cwndAcc    int // byte accumulator for congestion avoidance
+	dupAcks    int
+	inRecovery bool
+	recoverPt  int64
+	lastSendAt time.Duration
+
+	// RTT estimation (RFC 6298). One outstanding sample (Karn).
+	srtt, rttvar time.Duration
+	rto          time.Duration
+	rtoBackoff   int
+	rttSampleOff int64 // stream offset whose ack completes the sample; -1 idle
+	rttSampleAt  time.Duration
+	rtoTimer     *sim.Timer
+	persistTimer *sim.Timer
+	synTimer     *sim.Timer
+
+	// Receive state.
+	irs       uint32
+	rcvNxt    int64 // next expected stream offset from peer
+	rcvBuf    recvBuffer
+	ooo       map[int64]*packet.Segment
+	lastAdvW  int
+	ackTimer  *sim.Timer
+	unacked   int // segments received since last ACK sent
+	remoteFin bool
+
+	// HandshakeRTT is the SYN -> SYN-ACK (or SYN -> ACK) time.
+	HandshakeRTT time.Duration
+	synSentAt    time.Duration
+
+	Stats Stats
+}
+
+// Local and Peer expose the endpoints; State the lifecycle state.
+func (c *Conn) Local() packet.Endpoint { return c.local }
+
+// Peer returns the remote endpoint.
+func (c *Conn) Peer() packet.Endpoint { return c.peer }
+
+// State returns the current lifecycle state.
+func (c *Conn) ConnState() State { return c.state }
+
+// SetCallbacks installs the application callbacks.
+func (c *Conn) SetCallbacks(cb Callbacks) { c.cb = cb }
+
+// Config returns the effective configuration.
+func (c *Conn) Config() Config { return c.cfg }
+
+func newConn(h *Host, cfg Config, local, peer packet.Endpoint) *Conn {
+	cfg = cfg.withDefaults()
+	c := &Conn{
+		host:         h,
+		cfg:          cfg,
+		local:        local,
+		peer:         peer,
+		sndWnd:       cfg.MSS, // until the peer advertises
+		cwnd:         cfg.InitCwndSegs * cfg.MSS,
+		ssthresh:     1 << 30,
+		rto:          time.Second, // RFC 6298 initial
+		rttSampleOff: -1,
+		finAt:        -1,
+		ooo:          make(map[int64]*packet.Segment),
+		lastAdvW:     cfg.RecvBuf,
+	}
+	return c
+}
+
+// ---- Application interface ----
+
+// Write appends data to the send stream. The slice is not copied; the
+// caller must not mutate it afterwards.
+func (c *Conn) Write(data []byte) {
+	if c.state == StateClosed || c.finAt >= 0 {
+		return
+	}
+	c.sndBuf.Append(data)
+	c.trySend()
+}
+
+// WriteZero appends n zero bytes (bulk media padding).
+func (c *Conn) WriteZero(n int) {
+	if c.state == StateClosed || c.finAt >= 0 || n <= 0 {
+		return
+	}
+	c.sndBuf.AppendZero(n)
+	c.trySend()
+}
+
+// Buffered returns the number of readable in-order bytes.
+func (c *Conn) Buffered() int { return c.rcvBuf.Len() }
+
+// Unsent returns bytes written but not yet transmitted once.
+func (c *Conn) Unsent() int64 { return c.sndBuf.Unsent(c.sndNxt) }
+
+// Unacked returns bytes in flight (sent, not acknowledged).
+func (c *Conn) Unacked() int64 { return c.sndNxt - c.sndUna }
+
+// Read copies up to len(p) readable bytes into p, opening the
+// advertised window.
+func (c *Conn) Read(p []byte) int {
+	n := c.rcvBuf.Read(p)
+	c.maybeWindowUpdate()
+	return n
+}
+
+// Discard consumes up to n readable bytes without copying, returning
+// the count consumed. This is the bulk-read path used by players.
+func (c *Conn) Discard(n int) int {
+	got := c.rcvBuf.Discard(n)
+	c.maybeWindowUpdate()
+	return got
+}
+
+// Peek copies readable bytes without consuming them.
+func (c *Conn) Peek(p []byte) int { return c.rcvBuf.Peek(p) }
+
+// RemoteClosed reports whether the peer sent FIN.
+func (c *Conn) RemoteClosed() bool { return c.remoteFin }
+
+// Close half-closes: a FIN is queued after all written data.
+func (c *Conn) Close() {
+	if c.state == StateClosed || c.finAt >= 0 {
+		return
+	}
+	c.finAt = c.sndBuf.Len()
+	c.trySend()
+}
+
+// Abort sends RST and tears the connection down immediately.
+func (c *Conn) Abort() {
+	if c.state == StateClosed {
+		return
+	}
+	seg := c.mkSegment(packet.FlagRST|packet.FlagACK, c.sndNxt, nil, 0)
+	c.host.send(seg)
+	c.teardown()
+}
+
+func (c *Conn) teardown() {
+	c.state = StateClosed
+	c.stopTimer(&c.rtoTimer)
+	c.stopTimer(&c.persistTimer)
+	c.stopTimer(&c.ackTimer)
+	c.stopTimer(&c.synTimer)
+	// The connection stays registered with the host so late segments
+	// (a retransmitted FIN in particular) still reach the TIME-WAIT
+	// responder in deliver.
+	if c.cb.OnClosed != nil {
+		c.cb.OnClosed()
+	}
+}
+
+func (c *Conn) stopTimer(t **sim.Timer) {
+	if *t != nil {
+		(*t).Stop()
+		*t = nil
+	}
+}
+
+// ---- Segment construction ----
+
+func (c *Conn) seqOf(off int64) uint32 { return c.iss + 1 + uint32(off) }
+
+func (c *Conn) ackOf() uint32 {
+	a := c.irs + 1 + uint32(c.rcvNxt)
+	if c.remoteFin {
+		a++ // FIN consumed one sequence number
+	}
+	return a
+}
+
+func (c *Conn) advWindow() int {
+	w := c.cfg.RecvBuf - c.rcvBuf.Len()
+	if w < 0 {
+		w = 0
+	}
+	// Quantize to the wire encoding so the sender's view matches what
+	// a captured trace shows.
+	w = (w >> packet.WindowScale) << packet.WindowScale
+	return w
+}
+
+func (c *Conn) mkSegment(flags uint8, off int64, payload []byte, payloadLen int) *packet.Segment {
+	w := c.advWindow()
+	c.lastAdvW = w
+	return &packet.Segment{
+		Flow:       packet.Flow{Src: c.local, Dst: c.peer},
+		Seq:        c.seqOf(off),
+		Ack:        c.ackOf(),
+		Flags:      flags,
+		Window:     w,
+		Payload:    payload,
+		PayloadLen: payloadLen,
+	}
+}
+
+// ---- Connection establishment ----
+
+func (c *Conn) sendSYN() {
+	c.synSentAt = c.host.sch.Now()
+	seg := &packet.Segment{
+		Flow:   packet.Flow{Src: c.local, Dst: c.peer},
+		Seq:    c.iss,
+		Flags:  packet.FlagSYN,
+		Window: c.advWindow(),
+	}
+	c.host.send(seg)
+	c.armSYNTimer()
+}
+
+func (c *Conn) sendSYNACK() {
+	seg := &packet.Segment{
+		Flow:   packet.Flow{Src: c.local, Dst: c.peer},
+		Seq:    c.iss,
+		Ack:    c.irs + 1,
+		Flags:  packet.FlagSYN | packet.FlagACK,
+		Window: c.advWindow(),
+	}
+	c.host.send(seg)
+	c.armSYNTimer()
+}
+
+func (c *Conn) armSYNTimer() {
+	c.stopTimer(&c.synTimer)
+	timeout := c.rto
+	c.synTimer = c.host.sch.After(timeout, func() {
+		if c.state == StateSynSent {
+			c.rto = minDur(c.rto*2, c.cfg.MaxRTO)
+			c.Stats.Retransmits++
+			c.sendSYN()
+		} else if c.state == StateSynReceived {
+			c.rto = minDur(c.rto*2, c.cfg.MaxRTO)
+			c.Stats.Retransmits++
+			c.sendSYNACK()
+		}
+	})
+}
+
+// ---- Inbound segment processing ----
+
+func (c *Conn) deliver(seg *packet.Segment) {
+	if c.state == StateClosed {
+		// TIME-WAIT-lite: a FIN from the peer (our final ACK was lost,
+		// or we tore down first while the peer's FIN was in flight)
+		// deserves one more ACK so the peer can finish too. Register
+		// the FIN so ackOf covers its sequence number. Anything else
+		// is ignored.
+		if seg.HasFlag(packet.FlagFIN) && !seg.HasFlag(packet.FlagRST) {
+			if segOff := int64(int32(seg.Seq - (c.irs + 1))); !c.remoteFin && segOff <= c.rcvNxt {
+				c.remoteFin = true
+				if c.cb.OnRemoteClose != nil {
+					c.cb.OnRemoteClose()
+				}
+			}
+			c.host.send(&packet.Segment{
+				Flow:   packet.Flow{Src: c.local, Dst: c.peer},
+				Seq:    c.seqOf(c.sndNxt),
+				Ack:    c.ackOf(),
+				Flags:  packet.FlagACK,
+				Window: c.advWindow(),
+			})
+		}
+		return
+	}
+	if seg.HasFlag(packet.FlagRST) {
+		c.teardown()
+		return
+	}
+	switch c.state {
+	case StateSynSent:
+		if seg.HasFlag(packet.FlagSYN) && seg.HasFlag(packet.FlagACK) && seg.Ack == c.iss+1 {
+			c.irs = seg.Seq
+			c.HandshakeRTT = c.host.sch.Now() - c.synSentAt
+			c.seedRTT(c.HandshakeRTT)
+			c.sndWnd = seg.Window
+			c.state = StateEstablished
+			c.stopTimer(&c.synTimer)
+			c.sendAck() // completes the handshake
+			if c.cb.OnConnected != nil {
+				c.cb.OnConnected()
+			}
+			c.trySend()
+		}
+		return
+	case StateSynReceived:
+		if seg.HasFlag(packet.FlagSYN) && !seg.HasFlag(packet.FlagACK) {
+			// Duplicate SYN: re-answer.
+			c.sendSYNACK()
+			return
+		}
+		if seg.HasFlag(packet.FlagACK) && seg.Ack == c.iss+1 {
+			c.state = StateEstablished
+			c.stopTimer(&c.synTimer)
+			c.sndWnd = seg.Window
+			c.HandshakeRTT = c.host.sch.Now() - c.synSentAt
+			c.seedRTT(c.HandshakeRTT)
+			if c.cb.OnConnected != nil {
+				c.cb.OnConnected()
+			}
+			// Fall through: the ACK may carry data.
+		} else {
+			return
+		}
+	}
+
+	// Established (or later) processing: ACK side then data side.
+	if seg.HasFlag(packet.FlagACK) {
+		c.processAck(seg)
+	}
+	if n := seg.Len(); n > 0 || seg.HasFlag(packet.FlagFIN) {
+		c.processData(seg)
+	}
+	if c.state != StateClosed {
+		c.trySend()
+	}
+}
+
+func (c *Conn) seedRTT(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	c.srtt = rtt
+	c.rttvar = rtt / 2
+	c.updateRTO()
+}
+
+func (c *Conn) sampleRTT(rtt time.Duration) {
+	if c.srtt == 0 {
+		c.seedRTT(rtt)
+		return
+	}
+	diff := c.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	c.rttvar = (3*c.rttvar + diff) / 4
+	c.srtt = (7*c.srtt + rtt) / 8
+	c.updateRTO()
+}
+
+func (c *Conn) updateRTO() {
+	c.rto = c.srtt + maxDur(10*time.Millisecond, 4*c.rttvar)
+	c.rto = maxDur(c.rto, c.cfg.MinRTO)
+	c.rto = minDur(c.rto, c.cfg.MaxRTO)
+}
+
+// ackedOffset converts a wire ACK number to a stream offset.
+func (c *Conn) ackedOffset(ack uint32) int64 {
+	// ack acknowledges everything below iss+1+off (+1 more if our FIN
+	// was consumed). Compute off = ack - (iss+1) in sequence space.
+	off := int64(int32(ack - (c.iss + 1)))
+	// Sessions are far below 2^31 bytes; int32 diff keeps wraparound
+	// correct near the ISS.
+	return off
+}
+
+func (c *Conn) processAck(seg *packet.Segment) {
+	ackOff := c.ackedOffset(seg.Ack)
+	finConsumed := false
+	if c.finSent && ackOff == c.finAt+1 {
+		ackOff = c.finAt
+		finConsumed = true
+	}
+	if ackOff > c.maxSent || ackOff < 0 {
+		return // nonsense ack
+	}
+	oldWnd := c.sndWnd
+	c.sndWnd = seg.Window
+	if c.sndWnd > 0 {
+		c.stopTimer(&c.persistTimer)
+	}
+
+	switch {
+	case ackOff > c.sndUna:
+		acked := int(ackOff - c.sndUna)
+		c.sndUna = ackOff
+		if c.sndNxt < c.sndUna {
+			// After an RTO rollback, the receiver's out-of-order queue
+			// can acknowledge past our send point; jump forward.
+			c.sndNxt = c.sndUna
+		}
+		c.sndBuf.Release(c.sndUna)
+		c.Stats.BytesAcked += int64(acked)
+		c.rtoBackoff = 0
+		// RTT sample (Karn: only if the sampled range was not
+		// retransmitted; retransmission clears rttSampleOff).
+		if c.rttSampleOff >= 0 && ackOff >= c.rttSampleOff {
+			c.sampleRTT(c.host.sch.Now() - c.rttSampleAt)
+			c.rttSampleOff = -1
+		}
+		if c.inRecovery {
+			if ackOff >= c.recoverPt {
+				// Full ack: leave recovery, deflate.
+				c.inRecovery = false
+				c.cwnd = c.ssthresh
+				c.dupAcks = 0
+			} else {
+				// Partial ack: retransmit the next hole (NewReno).
+				c.retransmitOne()
+				c.cwnd = maxInt(c.cwnd-acked+c.cfg.MSS, c.cfg.MSS)
+			}
+		} else {
+			c.dupAcks = 0
+			c.growCwnd(acked)
+		}
+		c.restartRTO()
+		if c.cb.OnAcked != nil {
+			c.cb.OnAcked(acked)
+		}
+	case ackOff == c.sndUna && c.sndNxt > c.sndUna && seg.Len() == 0 &&
+		seg.Window == oldWnd && c.sndWnd > 0:
+		// Duplicate ACK: data outstanding, no payload, no window
+		// change, window open (zero-window probe replies must not
+		// masquerade as loss signals).
+		c.dupAcks++
+		c.Stats.DupAcksSeen++
+		if c.inRecovery {
+			c.cwnd += c.cfg.MSS // inflation
+		} else if c.dupAcks == 3 {
+			c.enterRecovery()
+		}
+	}
+	if finConsumed && c.finSent && c.sndUna == c.finAt && c.state != StateClosed {
+		c.stopTimer(&c.rtoTimer)
+		c.teardown()
+	}
+}
+
+func (c *Conn) growCwnd(acked int) {
+	if c.cwnd < c.ssthresh {
+		c.cwnd += minInt(acked, c.cfg.MSS) // slow start
+		return
+	}
+	// Congestion avoidance: one MSS per cwnd of acked bytes.
+	c.cwndAcc += acked
+	if c.cwndAcc >= c.cwnd {
+		c.cwndAcc -= c.cwnd
+		c.cwnd += c.cfg.MSS
+	}
+}
+
+func (c *Conn) enterRecovery() {
+	flight := int(c.sndNxt - c.sndUna)
+	c.ssthresh = maxInt(flight/2, 2*c.cfg.MSS)
+	c.cwnd = c.ssthresh + 3*c.cfg.MSS
+	c.inRecovery = true
+	c.recoverPt = c.sndNxt
+	c.Stats.FastRetransmit++
+	c.retransmitOne()
+	c.restartRTO()
+}
+
+// retransmitOne resends the segment at sndUna.
+func (c *Conn) retransmitOne() {
+	if c.finSent && c.sndUna == c.finAt && c.sndBuf.Unsent(c.sndUna) == 0 {
+		c.transmitFIN()
+		return
+	}
+	n := minInt(c.cfg.MSS, int(c.maxSent-c.sndUna))
+	if n <= 0 {
+		return
+	}
+	c.transmitData(c.sndUna, n)
+}
+
+// ---- Outbound data path ----
+
+func (c *Conn) trySend() {
+	if c.state != StateEstablished && c.state != StateFinWait {
+		return
+	}
+	// RFC 5681 idle restart, when enabled: collapse cwnd after the
+	// connection has been idle longer than one RTO. Streaming servers
+	// in the paper demonstrably skip this — the Figure 9 ablation.
+	if c.cfg.IdleReset && c.sndNxt == c.sndUna && c.lastSendAt > 0 {
+		if idle := c.host.sch.Now() - c.lastSendAt; idle > c.rto {
+			c.cwnd = minInt(c.cwnd, c.cfg.InitCwndSegs*c.cfg.MSS)
+			c.cwndAcc = 0
+		}
+	}
+	wnd := minInt(c.cwnd, c.sndWnd)
+	for {
+		flight := int(c.sndNxt - c.sndUna)
+		avail := c.sndBuf.Len() - c.sndNxt
+		if avail <= 0 {
+			break
+		}
+		room := wnd - flight
+		if room <= 0 {
+			break
+		}
+		n := minInt(c.cfg.MSS, int(avail))
+		n = minInt(n, room)
+		if n <= 0 {
+			break
+		}
+		c.transmitData(c.sndNxt, n)
+		c.sndNxt += int64(n)
+	}
+	// FIN when everything written has been sent.
+	if c.finAt >= 0 && !c.finSent && c.sndNxt == c.finAt && c.sndBuf.Unsent(c.sndNxt) == 0 {
+		c.transmitFIN()
+		c.finSent = true
+		c.state = StateFinWait
+		c.restartRTO()
+	}
+	// Persist: data waiting but window closed.
+	if c.sndWnd == 0 && c.sndBuf.Len() > c.sndNxt && c.persistTimer == nil {
+		c.armPersist()
+	}
+}
+
+// transmitData sends [off, off+n). Whether it is a retransmission is
+// derived from the maxSent high-water mark (an RTO rollback replays
+// offsets below it through the normal send path).
+func (c *Conn) transmitData(off int64, n int) {
+	payload, ok := c.sndBuf.Slice(off, n)
+	if !ok {
+		return
+	}
+	isRetransmit := off < c.maxSent
+	flags := packet.FlagACK
+	// PSH on what is likely the last segment of an application write.
+	if off+int64(n) == c.sndBuf.Len() {
+		flags |= packet.FlagPSH
+	}
+	var seg *packet.Segment
+	if isZero(payload) {
+		seg = c.mkSegment(flags, off, nil, len(payload))
+	} else {
+		seg = c.mkSegment(flags, off, payload, 0)
+	}
+	c.host.send(seg)
+	c.Stats.SegmentsSent++
+	c.Stats.BytesSent += int64(n)
+	c.lastSendAt = c.host.sch.Now()
+	if end := off + int64(n); end > c.maxSent {
+		c.maxSent = end
+	}
+	if isRetransmit {
+		c.Stats.Retransmits++
+		if c.rttSampleOff >= 0 && off <= c.rttSampleOff {
+			c.rttSampleOff = -1 // Karn: invalidate sample
+		}
+	} else if c.rttSampleOff < 0 {
+		c.rttSampleOff = off + int64(n)
+		c.rttSampleAt = c.host.sch.Now()
+	}
+	if c.rtoTimer == nil {
+		c.restartRTO()
+	}
+	// Receiving a piggybacked ACK resets the delayed-ack debt.
+	c.unacked = 0
+	c.stopTimer(&c.ackTimer)
+}
+
+func (c *Conn) transmitFIN() {
+	seg := c.mkSegment(packet.FlagFIN|packet.FlagACK, c.finAt, nil, 0)
+	c.host.send(seg)
+	c.Stats.SegmentsSent++
+	c.lastSendAt = c.host.sch.Now()
+}
+
+func isZero(p []byte) bool {
+	// Fast check: bulk media slices point into zeroPage.
+	if len(p) == 0 {
+		return false
+	}
+	return &p[0] == &zeroPage[0] || len(p) <= zeroPageSize && sameBacking(p)
+}
+
+func sameBacking(p []byte) bool {
+	// Conservative: only recognize slices of zeroPage itself.
+	if cap(p) == 0 {
+		return false
+	}
+	base := &zeroPage[0]
+	first := &p[:1][0]
+	// Pointer arithmetic without unsafe: compare against the page
+	// bounds by scanning would be O(n); instead, accept only the exact
+	// base (handled above) or fall back to a content check capped at
+	// 64 bytes for slices that merely look zero.
+	if first == base {
+		return true
+	}
+	if len(p) > 64 {
+		return false
+	}
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- RTO ----
+
+func (c *Conn) restartRTO() {
+	c.stopTimer(&c.rtoTimer)
+	if c.sndNxt == c.sndUna && !(c.finSent && c.sndUna == c.finAt) {
+		return // nothing outstanding
+	}
+	backoff := c.rto << c.rtoBackoff
+	backoff = minDur(backoff, c.cfg.MaxRTO)
+	c.rtoTimer = c.host.sch.After(backoff, c.onRTO)
+}
+
+func (c *Conn) onRTO() {
+	c.rtoTimer = nil
+	if c.state == StateClosed {
+		return
+	}
+	c.Stats.Timeouts++
+	flight := int(c.sndNxt - c.sndUna)
+	c.ssthresh = maxInt(flight/2, 2*c.cfg.MSS)
+	c.cwnd = c.cfg.MSS
+	c.cwndAcc = 0
+	c.dupAcks = 0
+	c.inRecovery = false
+	c.rtoBackoff++
+	if c.rtoBackoff > 10 {
+		// Give up as a real stack eventually would.
+		c.teardown()
+		return
+	}
+	// Go-back-N: replay from the hole. The receiver's out-of-order
+	// queue makes its cumulative ACKs jump over whatever already
+	// arrived, so only genuinely lost bytes consume round trips —
+	// this is what keeps burst loss (slow-start overshoot into a
+	// drop-tail queue) from degenerating into one-segment-per-RTO.
+	c.sndNxt = c.sndUna
+	if c.sndBuf.Unsent(c.sndNxt) > 0 || c.maxSent > c.sndUna {
+		c.trySend()
+		if c.sndNxt == c.sndUna {
+			c.retransmitOne() // window may be closed; force the probe
+		}
+	} else {
+		c.retransmitOne() // FIN-only case
+	}
+	c.restartRTO()
+}
+
+func (c *Conn) armPersist() {
+	interval := maxDur(c.rto, time.Second)
+	c.persistTimer = c.host.sch.After(interval, func() {
+		c.persistTimer = nil
+		if c.state == StateClosed || c.sndWnd > 0 {
+			return
+		}
+		// Zero-window probe in the classic keepalive style: one
+		// already-acknowledged byte at snd.una-1. The receiver treats
+		// it as a duplicate and replies with an ACK carrying its
+		// current window, reviving the transfer even when the real
+		// window update was lost.
+		seg := c.mkSegment(packet.FlagACK, c.sndUna-1, zeroPage[:1], 0)
+		c.host.send(seg)
+		c.armPersist()
+	})
+}
+
+// ---- Receive path ----
+
+func (c *Conn) processData(seg *packet.Segment) {
+	segOff := int64(int32(seg.Seq - (c.irs + 1)))
+	n := seg.Len()
+	fin := seg.HasFlag(packet.FlagFIN)
+	end := segOff + int64(n)
+
+	switch {
+	case end < c.rcvNxt || (end == c.rcvNxt && !fin):
+		// Entirely duplicate data (window probes land here too):
+		// re-ACK immediately so the peer learns the current window.
+		c.sendAck()
+	case segOff <= c.rcvNxt:
+		// In-order, possibly overlapping the front or exceeding the
+		// buffer; trim both ends. Trimmed tail bytes are dropped and
+		// will be retransmitted once the window reopens.
+		skip := int(c.rcvNxt - segOff)
+		space := c.cfg.RecvBuf - c.rcvBuf.Len()
+		take := minInt(n-skip, space)
+		if take < 0 {
+			take = 0
+		}
+		c.acceptPayload(seg, skip, take)
+		c.rcvNxt += int64(take)
+		complete := skip+take == n
+		if complete {
+			// Drain contiguous out-of-order segments (space was
+			// reserved by the advertised window).
+			for {
+				next, ok := c.ooo[c.rcvNxt]
+				if !ok {
+					break
+				}
+				delete(c.ooo, c.rcvNxt)
+				c.acceptPayload(next, 0, next.Len())
+				c.rcvNxt += int64(next.Len())
+				if next.HasFlag(packet.FlagFIN) {
+					fin = true
+				}
+			}
+		}
+		if fin && complete && !c.remoteFin {
+			c.remoteFin = true
+			c.sendAck()
+			if c.cb.OnRemoteClose != nil {
+				c.cb.OnRemoteClose()
+			}
+		} else {
+			c.scheduleAck(seg)
+		}
+		if take > 0 && c.cb.OnReadable != nil {
+			c.cb.OnReadable()
+		}
+	default: // segOff > c.rcvNxt
+		// Out of order: hold (bounded) and send an immediate dup ACK.
+		if len(c.ooo) < 4096 {
+			c.ooo[segOff] = seg
+		}
+		c.sendAck()
+	}
+}
+
+// acceptPayload pushes take bytes of the segment payload starting at
+// skip into the receive buffer.
+func (c *Conn) acceptPayload(seg *packet.Segment, skip, take int) {
+	if take <= 0 {
+		return
+	}
+	c.Stats.BytesReceived += int64(take)
+	if seg.Payload != nil {
+		c.rcvBuf.Push(seg.Payload[skip : skip+take])
+	} else {
+		c.rcvBuf.PushZero(take)
+	}
+}
+
+func (c *Conn) scheduleAck(seg *packet.Segment) {
+	if seg.Len() == 0 {
+		return
+	}
+	if c.cfg.NoDelayedAck {
+		c.sendAck()
+		return
+	}
+	c.unacked++
+	if c.unacked >= 2 || seg.HasFlag(packet.FlagPSH) {
+		c.sendAck()
+		return
+	}
+	if c.ackTimer == nil {
+		c.ackTimer = c.host.sch.After(c.cfg.AckDelay, func() {
+			c.ackTimer = nil
+			c.sendAck()
+		})
+	}
+}
+
+func (c *Conn) sendAck() {
+	c.unacked = 0
+	c.stopTimer(&c.ackTimer)
+	if c.state == StateClosed {
+		return
+	}
+	seg := c.mkSegment(packet.FlagACK, c.sndNxt, nil, 0)
+	c.host.send(seg)
+}
+
+// maybeWindowUpdate sends a window-update ACK after application reads,
+// following receiver-side SWS avoidance: update when the window grew
+// from (near) closed, or by at least half the buffer or 2 MSS.
+func (c *Conn) maybeWindowUpdate() {
+	if c.state != StateEstablished && c.state != StateFinWait {
+		return
+	}
+	w := c.advWindow()
+	grew := w - c.lastAdvW
+	if grew <= 0 {
+		return
+	}
+	if c.lastAdvW < c.cfg.MSS || grew >= c.cfg.RecvBuf/2 || grew >= 2*c.cfg.MSS {
+		c.sendAck()
+	}
+}

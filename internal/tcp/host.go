@@ -1,0 +1,131 @@
+package tcp
+
+import (
+	"fmt"
+
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Host owns one side of a path: it demultiplexes inbound segments to
+// connections and provides Listen/Dial. A Host implements
+// netem.Receiver and transmits on the egress link set via SetLink.
+type Host struct {
+	sch       *sim.Scheduler
+	addr      [4]byte
+	out       *netem.Link
+	conns     map[packet.Flow]*Conn
+	listeners map[uint16]listener
+	nextPort  uint16
+	nextISS   uint32
+}
+
+type listener struct {
+	cfg    Config
+	accept func(*Conn)
+}
+
+// NewHost creates a host with the given IPv4 address.
+func NewHost(sch *sim.Scheduler, a, b, c, d byte) *Host {
+	return &Host{
+		sch:       sch,
+		addr:      [4]byte{a, b, c, d},
+		conns:     make(map[packet.Flow]*Conn),
+		listeners: make(map[uint16]listener),
+		nextPort:  40000,
+		nextISS:   10000,
+	}
+}
+
+// Addr returns the host address as an endpoint with port 0.
+func (h *Host) Addr() packet.Endpoint { return packet.Endpoint{Addr: h.addr} }
+
+// SetLink wires the egress link (toward the peer side of the path).
+func (h *Host) SetLink(l *netem.Link) { h.out = l }
+
+// Scheduler exposes the event loop for applications built on the host.
+func (h *Host) Scheduler() *sim.Scheduler { return h.sch }
+
+func (h *Host) send(seg *packet.Segment) {
+	if h.out == nil {
+		panic("tcp: host has no egress link")
+	}
+	h.out.Send(seg)
+}
+
+// ConnCount returns the number of live (not closed) connections.
+func (h *Host) ConnCount() int {
+	n := 0
+	for _, c := range h.conns {
+		if c.state != StateClosed {
+			n++
+		}
+	}
+	return n
+}
+
+// Listen registers an accept callback for a local port. The callback
+// runs when a SYN arrives, before the handshake completes, so the
+// application can install Callbacks in time for OnConnected.
+func (h *Host) Listen(port uint16, cfg Config, accept func(*Conn)) {
+	h.listeners[port] = listener{cfg: cfg, accept: accept}
+}
+
+// Dial opens a client connection to remote and sends the SYN. The
+// returned Conn is in SYN-SENT; install callbacks immediately.
+func (h *Host) Dial(cfg Config, remote packet.Endpoint) *Conn {
+	local := packet.Endpoint{Addr: h.addr, Port: h.allocPort()}
+	c := newConn(h, cfg, local, remote)
+	c.iss = h.iss()
+	c.state = StateSynSent
+	h.conns[packet.Flow{Src: local, Dst: remote}] = c
+	c.sendSYN()
+	return c
+}
+
+func (h *Host) allocPort() uint16 {
+	p := h.nextPort
+	h.nextPort++
+	if h.nextPort < 40000 {
+		h.nextPort = 40000
+	}
+	return p
+}
+
+func (h *Host) iss() uint32 {
+	h.nextISS += 64019 // arbitrary odd stride keeps ISS values distinct
+	return h.nextISS
+}
+
+// Deliver implements netem.Receiver: demultiplex to an existing
+// connection, or to a listener for new SYNs.
+func (h *Host) Deliver(seg *packet.Segment) {
+	key := seg.Flow.Reverse()
+	if c, ok := h.conns[key]; ok {
+		c.deliver(seg)
+		return
+	}
+	if seg.HasFlag(packet.FlagSYN) && !seg.HasFlag(packet.FlagACK) {
+		l, ok := h.listeners[seg.Dst.Port]
+		if !ok {
+			return // no RST machinery needed for the simulations
+		}
+		c := newConn(h, l.cfg, seg.Dst, seg.Src)
+		c.iss = h.iss()
+		c.irs = seg.Seq
+		c.sndWnd = seg.Window
+		c.state = StateSynReceived
+		c.synSentAt = h.sch.Now()
+		h.conns[key] = c
+		if l.accept != nil {
+			l.accept(c)
+		}
+		c.sendSYNACK()
+	}
+}
+
+// String aids debugging.
+func (h *Host) String() string {
+	return fmt.Sprintf("host %d.%d.%d.%d (%d conns)", h.addr[0], h.addr[1], h.addr[2], h.addr[3], len(h.conns))
+}

@@ -1,0 +1,293 @@
+// Package trace is the measurement substrate: it records packets
+// observed at the client vantage point (like tcpdump in the paper's
+// methodology) and offers flow-level views plus TCP payload
+// reassembly, so internal/analysis can recompute the paper's metrics
+// from the captured segments alone.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/pcap"
+)
+
+// Dir is the packet direction relative to the measured client.
+type Dir int
+
+// Directions.
+const (
+	Down Dir = iota // server -> client (data)
+	Up              // client -> server (acks, requests)
+)
+
+func (d Dir) String() string {
+	if d == Down {
+		return "down"
+	}
+	return "up"
+}
+
+// Record is one captured packet.
+type Record struct {
+	TS  time.Duration
+	Dir Dir
+	Seg *packet.Segment
+}
+
+// Trace is an append-only capture. It implements the two netem.Tap
+// halves via Tap.
+type Trace struct {
+	Records []Record
+}
+
+// Tap returns a capture tap for the given direction, to be attached to
+// the corresponding netem link.
+func (t *Trace) Tap(d Dir) TapDir { return TapDir{t: t, d: d} }
+
+// TapDir adapts Trace to netem.Tap for one direction.
+type TapDir struct {
+	t *Trace
+	d Dir
+}
+
+// Capture implements netem.Tap.
+func (td TapDir) Capture(at time.Duration, seg *packet.Segment) {
+	td.t.Records = append(td.t.Records, Record{TS: at, Dir: td.d, Seg: seg})
+}
+
+// Len returns the number of captured packets.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// Duration returns the timestamp of the last record.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Records) == 0 {
+		return 0
+	}
+	return t.Records[len(t.Records)-1].TS
+}
+
+// DownBytes sums payload bytes in the Down direction.
+func (t *Trace) DownBytes() int64 {
+	var n int64
+	for _, r := range t.Records {
+		if r.Dir == Down {
+			n += int64(r.Seg.Len())
+		}
+	}
+	return n
+}
+
+// Flows returns the distinct Down-direction flows in first-seen order.
+func (t *Trace) Flows() []packet.Flow {
+	seen := map[packet.Flow]bool{}
+	var out []packet.Flow
+	for _, r := range t.Records {
+		if r.Dir != Down {
+			continue
+		}
+		if !seen[r.Seg.Flow] {
+			seen[r.Seg.Flow] = true
+			out = append(out, r.Seg.Flow)
+		}
+	}
+	return out
+}
+
+// FlowRecords returns the records of one Down flow (data) or its
+// reverse (acks), in capture order.
+func (t *Trace) FlowRecords(f packet.Flow, d Dir) []Record {
+	var out []Record
+	rev := f.Reverse()
+	for _, r := range t.Records {
+		if r.Dir != d {
+			continue
+		}
+		if d == Down && r.Seg.Flow == f || d == Up && r.Seg.Flow == rev {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WritePcap serializes the capture as a libpcap file.
+func (t *Trace) WritePcap(w io.Writer, snaplen int) error {
+	pw, err := pcap.NewWriter(w, snaplen)
+	if err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		if err := pw.WritePacket(r.TS, r.Seg); err != nil {
+			return fmt.Errorf("trace: record at %v: %w", r.TS, err)
+		}
+	}
+	return nil
+}
+
+// ReadPcap loads a capture produced by WritePcap (or tcpdump with raw
+// IP linktype). clientAddr identifies the measurement vantage point so
+// directions can be restored.
+func ReadPcap(r io.Reader, clientAddr [4]byte) (*Trace, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{}
+	for {
+		rec, err := pr.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		seg, err := packet.Parse(rec.Data)
+		if err != nil {
+			continue // non-TCP noise in a real capture
+		}
+		d := Up
+		if seg.Dst.Addr == clientAddr {
+			d = Down
+		}
+		t.Records = append(t.Records, Record{TS: rec.TS, Dir: d, Seg: seg})
+	}
+}
+
+// Reassemble rebuilds the in-order payload byte stream of one Down
+// flow up to maxBytes, using sequence numbers (duplicates collapse,
+// gaps stop reassembly). Snaplen-truncated payloads contribute the
+// bytes that were captured; missing tails render as zeros, mirroring
+// what a real trace analyzer can recover.
+func (t *Trace) Reassemble(f packet.Flow, maxBytes int) []byte {
+	type piece struct {
+		seq     uint32
+		payload []byte
+		length  int
+	}
+	var pieces []piece
+	var base uint32
+	haveBase := false
+	for _, r := range t.Records {
+		if r.Dir != Down || r.Seg.Flow != f {
+			continue
+		}
+		if r.Seg.HasFlag(packet.FlagSYN) {
+			base = r.Seg.Seq + 1
+			haveBase = true
+			continue
+		}
+		if r.Seg.Len() == 0 {
+			continue
+		}
+		if !haveBase {
+			base = r.Seg.Seq
+			haveBase = true
+		}
+		pieces = append(pieces, piece{seq: r.Seg.Seq, payload: r.Seg.Payload, length: r.Seg.Len()})
+	}
+	if len(pieces) == 0 {
+		return nil
+	}
+	sort.SliceStable(pieces, func(i, j int) bool {
+		return int32(pieces[i].seq-pieces[j].seq) < 0
+	})
+	out := make([]byte, 0, maxBytes)
+	next := base
+	for _, p := range pieces {
+		off := int32(p.seq - next)
+		if off+int32(p.length) <= 0 {
+			continue // fully duplicate
+		}
+		if off > 0 {
+			break // gap: cannot reassemble past it
+		}
+		skip := int(-off)
+		take := p.length - skip
+		if take <= 0 {
+			continue
+		}
+		chunk := make([]byte, take)
+		if p.payload != nil && skip < len(p.payload) {
+			copy(chunk, p.payload[skip:])
+		}
+		out = append(out, chunk...)
+		next += uint32(take)
+		if len(out) >= maxBytes {
+			return out[:maxBytes]
+		}
+	}
+	return out
+}
+
+// DownloadPoint is one step of the cumulative download curve.
+type DownloadPoint struct {
+	TS    time.Duration
+	Bytes int64
+}
+
+// DownloadSeries returns the cumulative payload bytes over time across
+// all Down flows — the "Download Amount" axis of Figures 2, 6, 7, 10.
+func (t *Trace) DownloadSeries() []DownloadPoint {
+	var out []DownloadPoint
+	var total int64
+	for _, r := range t.Records {
+		if r.Dir != Down || r.Seg.Len() == 0 {
+			continue
+		}
+		total += int64(r.Seg.Len())
+		out = append(out, DownloadPoint{TS: r.TS, Bytes: total})
+	}
+	return out
+}
+
+// WindowPoint is one advertised-window observation from a client ACK.
+type WindowPoint struct {
+	TS     time.Duration
+	Window int
+}
+
+// ReceiveWindowSeries extracts the client's advertised receive window
+// over time (Figures 2(b) and 6(a)): the Window field of Up packets.
+func (t *Trace) ReceiveWindowSeries() []WindowPoint {
+	var out []WindowPoint
+	for _, r := range t.Records {
+		if r.Dir != Up {
+			continue
+		}
+		out = append(out, WindowPoint{TS: r.TS, Window: r.Seg.Window})
+	}
+	return out
+}
+
+// Retransmissions counts Down-direction data segments that are
+// retransmissions from the client vantage point: their sequence range
+// ends at or below the highest byte already seen on the flow (the
+// lost original never reached the capture point, so sequence
+// regression is the observable signal — the same heuristic wireshark
+// uses). Exact duplicates (spurious retransmits) also count.
+func (t *Trace) Retransmissions() (retrans, data int) {
+	high := map[packet.Flow]uint32{} // highest end-seq seen per flow
+	started := map[packet.Flow]bool{}
+	for _, r := range t.Records {
+		if r.Dir != Down || r.Seg.Len() == 0 {
+			continue
+		}
+		data++
+		f := r.Seg.Flow
+		end := r.Seg.Seq + uint32(r.Seg.Len())
+		if !started[f] {
+			started[f] = true
+			high[f] = end
+			continue
+		}
+		if int32(end-high[f]) <= 0 {
+			retrans++
+		} else {
+			high[f] = end
+		}
+	}
+	return retrans, data
+}
