@@ -13,8 +13,13 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/player"
+	"repro/internal/session"
 )
 
 // benchOpts is the paper-scale configuration: 180 s captures, a
@@ -31,6 +36,21 @@ func emit(b *testing.B, artifact fmt.Stringer) {
 	if _, loaded := printOnce.LoadOrStore(b.Name(), true); !loaded {
 		fmt.Print(artifact.String())
 		fmt.Println()
+	}
+}
+
+// BenchmarkSingleSession tracks the per-session hot-path cost
+// (scheduler + link + TCP event machinery) with allocation stats: one
+// 180 s Flash capture on the Research profile.
+func BenchmarkSingleSession(b *testing.B) {
+	v := media.Video{ID: 99, EncodingRate: 1e6, Duration: 300 * time.Second, Container: media.Flash, Resolution: "360p"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		session.Run(session.Config{
+			Video: v, Service: session.YouTube,
+			Player:  player.NewFlashPlayer("Internet Explorer"),
+			Network: netem.Research, Seed: 7,
+		})
 	}
 }
 

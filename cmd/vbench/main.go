@@ -1,0 +1,134 @@
+// Command vbench records the benchmark suite in machine-readable form
+// so the performance trajectory is comparable across PRs: it runs
+// `go test -bench` with allocation stats and writes a BENCH_<n>.json
+// containing ns/op, B/op and allocs/op per benchmark.
+//
+// Usage:
+//
+//	vbench -n 1                       # writes BENCH_1.json from the full suite
+//	vbench -n 2 -bench 'SingleSession' -benchtime 3x
+//	go test -bench=. -benchmem | vbench -n 1 -stdin   # parse an existing run
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the BENCH_<n>.json schema.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	NumCPU      int      `json:"num_cpu"`
+	Command     string   `json:"command"`
+	WallSeconds float64  `json:"wall_seconds"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8  3  41330152 ns/op  17964480 B/op  332352 allocs/op`
+// (the -8 GOMAXPROCS suffix and the memory columns are optional).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(r io.Reader, echo io.Writer) []Result {
+	out := []Result{} // never nil, so the JSON field is [] not null
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		res := Result{Name: m[1]}
+		res.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		res.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			res.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+func main() {
+	n := flag.Int("n", 1, "PR number; output file is BENCH_<n>.json")
+	bench := flag.String("bench", ".", "benchmark regex passed to go test")
+	benchtime := flag.String("benchtime", "1x", "benchtime passed to go test")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	stdin := flag.Bool("stdin", false, "parse `go test -bench` output from stdin instead of running it")
+	out := flag.String("out", "", "output path (default BENCH_<n>.json)")
+	flag.Parse()
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%d.json", *n)
+	}
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+	}
+
+	start := time.Now()
+	if *stdin {
+		rep.Command = "stdin"
+		rep.Benchmarks = parse(os.Stdin, nil)
+	} else {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-benchmem", *pkg}
+		rep.Command = "go " + strings.Join(args, " ")
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		pipe, err := cmd.StdoutPipe()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vbench:", err)
+			os.Exit(1)
+		}
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "vbench:", err)
+			os.Exit(1)
+		}
+		rep.Benchmarks = parse(pipe, os.Stdout)
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintln(os.Stderr, "vbench: go test failed:", err)
+			os.Exit(1)
+		}
+	}
+	rep.WallSeconds = time.Since(start).Seconds()
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "vbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "vbench: wrote %s (%d benchmarks)\n", path, len(rep.Benchmarks))
+}

@@ -60,6 +60,7 @@ func main() {
 	n := flag.Int("n", 8, "videos per dataset/cell")
 	seed := flag.Int64("seed", 1, "random seed")
 	capture := flag.Float64("capture", 180, "per-session capture seconds")
+	workers := flag.Int("workers", 0, "session worker pool size (0 = one per CPU); results are identical for any value")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -72,6 +73,7 @@ func main() {
 	o := experiments.Options{
 		N: *n, Seed: *seed,
 		Duration: time.Duration(*capture * float64(time.Second)),
+		Workers:  *workers,
 	}
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/packet"
 	"repro/internal/player"
+	"repro/internal/runner"
 	"repro/internal/session"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -31,15 +32,20 @@ func AblationIdleReset(o Options) *AblationIdleResetResult {
 	o = o.withDefaults()
 	res := &AblationIdleResetResult{Artifact: Artifact{Title: "Ablation: RFC 5681 idle cwnd reset"}}
 	v := media.Video{ID: 51, EncodingRate: 1e6, Duration: 300 * time.Second, Container: media.Flash, Resolution: "360p"}
-	for _, reset := range []bool{false, true} {
-		var samples []float64
-		r := session.Run(session.Config{
+	settings := []bool{false, true}
+	cfgs := make([]session.Config, len(settings))
+	for i, reset := range settings {
+		cfgs[i] = session.Config{
 			Video: v, Service: session.YouTube,
 			Player: player.NewFlashPlayer("x"), Network: netem.Research,
 			Seed: o.Seed, Duration: o.Duration,
 			ServerTCP: tcp.Config{IdleReset: reset},
-		})
-		for _, b := range r.Analysis.FirstRTTBytes {
+		}
+	}
+	results := runSessions(o, cfgs)
+	for i, reset := range settings {
+		var samples []float64
+		for _, b := range results[i].Analysis.FirstRTTBytes {
 			samples = append(samples, kb(b))
 		}
 		m := stats.Median(samples)
@@ -96,8 +102,10 @@ func AblationDelayedAck(o Options) *AblationDelayedAckResult {
 		l.sch.RunUntil(time.Minute)
 		return l.path.Up.Sent
 	}
-	res.AcksWith = run(false)
-	res.AcksWithout = run(true)
+	counts := runner.Map(o.pool(), []bool{false, true}, func(_ int, noDelay bool) int {
+		return run(noDelay)
+	})
+	res.AcksWith, res.AcksWithout = counts[0], counts[1]
 	res.Artifact.Addf("delayed ACKs on : %d upstream packets", res.AcksWith)
 	res.Artifact.Addf("delayed ACKs off: %d upstream packets", res.AcksWithout)
 	res.Artifact.Addf("delayed ACKs roughly halve the upstream packet load")
@@ -129,7 +137,8 @@ func AblationRecvBuffer(o Options) *AblationRecvBufferResult {
 		ZeroWindow:  map[int]int{},
 		Artifact:    Artifact{Title: "Ablation: receive buffer size vs pull pacing"},
 	}
-	for _, buf := range []int{128 << 10, 384 << 10, 8 << 20} {
+	bufs := []int{128 << 10, 384 << 10, 8 << 20}
+	analyses := runner.Map(o.pool(), bufs, func(_ int, buf int) labAnalysis {
 		l := newLab(o.Seed, netem.Profile{Name: "lab", Down: 100 * netem.Mbps, Up: 100 * netem.Mbps, RTT: 30 * time.Millisecond, Queue: 1536 << 10})
 		l.server.Listen(80, tcp.Config{}, func(c *tcp.Conn) {
 			c.SetCallbacks(tcp.Callbacks{OnConnected: func() { c.WriteZero(64 << 20) }})
@@ -142,7 +151,10 @@ func AblationRecvBuffer(o Options) *AblationRecvBufferResult {
 		}
 		l.sch.After(0, pull)
 		l.sch.RunUntil(o.Duration)
-		a := analyzeLab(l)
+		return analyzeLab(l)
+	})
+	for i, buf := range bufs {
+		a := analyses[i]
 		res.BlocksByBuf[buf] = float64(a.median) / 1e3
 		res.BurstByBuf[buf] = float64(a.burst) / 1e3
 		res.ZeroWindow[buf] = a.zeroWindows
@@ -187,15 +199,21 @@ func AblationLoss(o Options) *AblationLossResult {
 	res := &AblationLossResult{Artifact: Artifact{Title: "Ablation: loss rate vs Flash block-size spread"}}
 	v := media.Video{ID: 52, EncodingRate: 1e6, Duration: 300 * time.Second, Container: media.Flash, Resolution: "360p"}
 	res.Artifact.Addf("%-10s %-16s %-14s %-10s", "loss", "median blk kB", "p90 blk kB", "retrans%")
-	for _, loss := range []float64{0, 0.002, 0.01} {
+	losses := []float64{0, 0.002, 0.01}
+	cfgs := make([]session.Config, len(losses))
+	for i, loss := range losses {
 		prof := netem.Research
 		prof.Name = "lossy"
 		prof.Loss = loss
-		r := session.Run(session.Config{
+		cfgs[i] = session.Config{
 			Video: v, Service: session.YouTube,
 			Player: player.NewFlashPlayer("x"), Network: prof,
 			Seed: o.Seed, Duration: o.Duration,
-		})
+		}
+	}
+	results := runSessions(o, cfgs)
+	for i, loss := range losses {
+		r := results[i]
 		var blocks []float64
 		for _, b := range r.Analysis.Blocks {
 			blocks = append(blocks, kb(b))

@@ -10,6 +10,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/packet"
 	"repro/internal/player"
+	"repro/internal/runner"
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -72,18 +73,21 @@ func AggregateLoss(o Options) *AggregateLossResult {
 	warm := 60 * time.Second
 	horizon := warm + o.Duration
 
-	cases := []struct {
+	type aggCase struct {
 		label     string
 		container media.Container
 		mk        func() player.Player
-	}{
+	}
+	cases := []aggCase{
 		{"Short ON-OFF (Flash)", media.Flash, func() player.Player { return player.NewFlashPlayer("x") }},
 		{"Long ON-OFF (Chrome)", media.HTML5, func() player.Player { return player.NewChromeHtml5() }},
 		{"No ON-OFF (Firefox)", media.HTML5, func() player.Player { return player.NewFirefoxHtml5() }},
 	}
 	res.Artifact.Addf("%d concurrent 1.2 Mbps sessions on a shared 100 Mbps / 384 kB-queue bottleneck", n)
 	res.Artifact.Addf("%-24s %-14s %-22s %-12s", "strategy", "loss induced", "aggregate Mbps (std)", "model E[R]")
-	for ci, c := range cases {
+	// Each case owns a scheduler and a seed, so the three strategies
+	// run concurrently on the pool.
+	res.Rows = runner.Map(o.pool(), cases, func(ci int, c aggCase) AggregateRow {
 		sch := sim.NewScheduler(o.Seed + int64(ci))
 		server := tcp.NewHost(sch, 203, 0, 113, 10)
 		// A tight queue makes strategy burstiness visible as drops.
@@ -134,14 +138,15 @@ func AggregateLoss(o Options) *AggregateLossResult {
 		// sessions at their average rates. For ON-OFF strategies the
 		// long-run per-session rate is ~accumulation x encoding rate.
 		perSession := 1.2e6 * 1.25
-		row := AggregateRow{
+		return AggregateRow{
 			Strategy:     c.label,
 			InducedLoss:  loss,
 			MeanRateMbps: mean / 1e6,
 			StdRateMbps:  std / 1e6,
 			ModelMean:    float64(n) * perSession / 1e6,
 		}
-		res.Rows = append(res.Rows, row)
+	})
+	for _, row := range res.Rows {
 		res.Artifact.Addf("%-24s %-14s %-22s %-12.1f",
 			row.Strategy,
 			fmt.Sprintf("%.3f%%", row.InducedLoss*100),

@@ -14,6 +14,7 @@ import (
 	"repro/internal/media"
 	"repro/internal/netem"
 	"repro/internal/player"
+	"repro/internal/runner"
 	"repro/internal/session"
 )
 
@@ -27,6 +28,11 @@ type Options struct {
 	// Duration is the per-session capture time. Default 180 s (the
 	// paper's). Tests may shorten it.
 	Duration time.Duration
+	// Workers sizes the session worker pool; <= 0 means one worker
+	// per CPU. Results are bit-identical for any value because every
+	// session carries its own seed and results are consumed in
+	// submission order.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -64,20 +70,34 @@ func (a *Artifact) String() string {
 	return "== " + a.Title + " ==\n" + strings.Join(a.lines, "\n") + "\n"
 }
 
-// runYouTube executes one YouTube session.
-func runYouTube(v media.Video, p player.Player, net netem.Profile, seed int64, d time.Duration) *session.Result {
-	return session.Run(session.Config{
-		Video: v, Service: session.YouTube, Player: p,
-		Network: net, Seed: seed, Duration: d,
-	})
+// pool returns the runner options for this experiment run.
+func (o Options) pool() runner.Options { return runner.Options{Workers: o.Workers} }
+
+// runSessions executes a batch of session configs on the experiment's
+// worker pool, returning results in submission order.
+func runSessions(o Options, cfgs []session.Config) []*session.Result {
+	return runner.Sessions(o.pool(), cfgs)
 }
 
-// runNetflix executes one Netflix session.
-func runNetflix(v media.Video, p player.Player, net netem.Profile, seed int64, d time.Duration) *session.Result {
-	return session.Run(session.Config{
+// ytConfig builds one YouTube session config.
+func ytConfig(v media.Video, p player.Player, net netem.Profile, seed int64, d time.Duration) session.Config {
+	return session.Config{
+		Video: v, Service: session.YouTube, Player: p,
+		Network: net, Seed: seed, Duration: d,
+	}
+}
+
+// nfConfig builds one Netflix session config.
+func nfConfig(v media.Video, p player.Player, net netem.Profile, seed int64, d time.Duration) session.Config {
+	return session.Config{
 		Video: v, Service: session.Netflix, Player: p,
 		Network: net, Seed: seed, Duration: d,
-	})
+	}
+}
+
+// runYouTube executes one YouTube session.
+func runYouTube(v media.Video, p player.Player, net netem.Profile, seed int64, d time.Duration) *session.Result {
+	return session.Run(ytConfig(v, p, net, seed, d))
 }
 
 // sampleVideos picks up to n videos deterministically from a dataset.

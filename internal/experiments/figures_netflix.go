@@ -7,6 +7,7 @@ import (
 	"repro/internal/media"
 	"repro/internal/netem"
 	"repro/internal/player"
+	"repro/internal/session"
 	"repro/internal/stats"
 )
 
@@ -29,9 +30,12 @@ type Figure10Result struct {
 func Figure10(o Options) *Figure10Result {
 	o = o.withDefaults()
 	v := media.Video{ID: 31, EncodingRate: 3800e3, Duration: 45 * time.Minute, Container: media.Silverlight, Resolution: "adaptive"}
-	pc := runNetflix(v, player.NewSilverlightPC("Internet Explorer"), netem.Academic, o.Seed, o.Duration)
-	ip := runNetflix(v, player.NewNetflixIPad(), netem.Academic, o.Seed+1, o.Duration)
-	an := runNetflix(v, player.NewNetflixAndroid(), netem.Academic, o.Seed+2, o.Duration)
+	rs := runSessions(o, []session.Config{
+		nfConfig(v, player.NewSilverlightPC("Internet Explorer"), netem.Academic, o.Seed, o.Duration),
+		nfConfig(v, player.NewNetflixIPad(), netem.Academic, o.Seed+1, o.Duration),
+		nfConfig(v, player.NewNetflixAndroid(), netem.Academic, o.Seed+2, o.Duration),
+	})
+	pc, ip, an := rs[0], rs[1], rs[2]
 
 	res := &Figure10Result{
 		PC: downloadSeries(pc, 30), IPad: downloadSeries(ip, 30), Android: downloadSeries(an, 30),
@@ -75,10 +79,17 @@ func Figure11(o Options) *Figure11Result {
 		{"iPad/Academic", netem.Academic, func() player.Player { return player.NewNetflixIPad() }},
 		{"Android/Academic", netem.Academic, func() player.Player { return player.NewNetflixAndroid() }},
 	}
+	var cfgs []session.Config
+	for si, s := range series {
+		for i, v := range vids {
+			cfgs = append(cfgs, nfConfig(v, s.mk(), s.net, o.Seed+int64(si*100+i), o.Duration))
+		}
+	}
+	results := runSessions(o, cfgs)
 	for si, s := range series {
 		var buf []float64
-		for i, v := range vids {
-			r := runNetflix(v, s.mk(), s.net, o.Seed+int64(si*100+i), o.Duration)
+		for i := range vids {
+			r := results[si*len(vids)+i]
 			buf = append(buf, mb(r.Analysis.BufferedBytes))
 		}
 		res.Buffering[s.label] = stats.NewCDF(buf)
@@ -108,10 +119,17 @@ func Figure12(o Options) *Figure12Result {
 		{"iPad/Academic", netem.Academic, func() player.Player { return player.NewNetflixIPad() }},
 		{"Android/Academic", netem.Academic, func() player.Player { return player.NewNetflixAndroid() }},
 	}
+	var cfgs []session.Config
+	for si, s := range series {
+		for i, v := range vids {
+			cfgs = append(cfgs, nfConfig(v, s.mk(), s.net, o.Seed+int64(si*100+i), o.Duration))
+		}
+	}
+	results := runSessions(o, cfgs)
 	for si, s := range series {
 		var blocks []float64
-		for i, v := range vids {
-			r := runNetflix(v, s.mk(), s.net, o.Seed+int64(si*100+i), o.Duration)
+		for i := range vids {
+			r := results[si*len(vids)+i]
 			for _, b := range r.Analysis.Blocks {
 				blocks = append(blocks, mb(b))
 			}

@@ -69,8 +69,11 @@ func Figure2(o Options) *Figure2Result {
 	o = o.withDefaults()
 	fv := media.Video{ID: 22, EncodingRate: 1e6, Duration: 300 * time.Second, Container: media.Flash, Resolution: "360p"}
 	hv := media.Video{ID: 23, EncodingRate: 1e6, Duration: 300 * time.Second, Container: media.HTML5, Resolution: "360p"}
-	fr := runYouTube(fv, player.NewFlashPlayer("Internet Explorer"), netem.Research, o.Seed, o.Duration)
-	hr := runYouTube(hv, player.NewIEHtml5(), netem.Research, o.Seed+1, o.Duration)
+	rs := runSessions(o, []session.Config{
+		ytConfig(fv, player.NewFlashPlayer("Internet Explorer"), netem.Research, o.Seed, o.Duration),
+		ytConfig(hv, player.NewIEHtml5(), netem.Research, o.Seed+1, o.Duration),
+	})
+	fr, hr := rs[0], rs[1]
 
 	res := &Figure2Result{Artifact: Artifact{Title: "Figure 2: short ON-OFF cycles (IE), download amount and TCP receive window"}}
 	res.FlashDownload = downloadSeries(fr, 40)
@@ -158,12 +161,25 @@ func Figure3(o Options) *Figure3Result {
 		Artifact:    Artifact{Title: "Figure 3: amount downloaded during the buffering phase"},
 	}
 	flash := sampleVideos(media.YouFlash(o.N*4, o.Seed), o.N)
+	html := sampleVideos(media.YouHtml(o.N*4, o.Seed+100), o.N)
+	var cfgs []session.Config
+	for _, net := range netem.Profiles() {
+		for i, v := range flash {
+			cfgs = append(cfgs, ytConfig(v, player.NewFlashPlayer("Internet Explorer"), net, o.Seed+int64(i), o.Duration))
+		}
+	}
+	for i, v := range html {
+		cfgs = append(cfgs, ytConfig(v, player.NewIEHtml5(), netem.Research, o.Seed+200+int64(i), o.Duration))
+	}
+	results := runSessions(o, cfgs)
+
 	var allRates, allBuf []float64
+	k := 0
 	for _, net := range netem.Profiles() {
 		var playback []float64
-		for i, v := range flash {
-			r := runYouTube(v, player.NewFlashPlayer("Internet Explorer"), net, o.Seed+int64(i), o.Duration)
-			a := r.Analysis
+		for _, v := range flash {
+			a := results[k].Analysis
+			k++
 			if a.Media.EncodingRate <= 0 {
 				continue
 			}
@@ -177,13 +193,13 @@ func Figure3(o Options) *Figure3Result {
 	}
 	res.FlashCorrelation = stats.Pearson(allRates, allBuf)
 
-	html := sampleVideos(media.YouHtml(o.N*4, o.Seed+100), o.N)
 	var hRates, hBuf []float64
-	for i, v := range html {
-		r := runYouTube(v, player.NewIEHtml5(), netem.Research, o.Seed+200+int64(i), o.Duration)
-		res.HTML5Scatter = append(res.HTML5Scatter, [2]float64{v.EncodingRate / 1e6, mb(r.Analysis.BufferedBytes)})
+	for _, v := range html {
+		a := results[k].Analysis
+		k++
+		res.HTML5Scatter = append(res.HTML5Scatter, [2]float64{v.EncodingRate / 1e6, mb(a.BufferedBytes)})
 		hRates = append(hRates, v.EncodingRate)
-		hBuf = append(hBuf, float64(r.Analysis.BufferedBytes))
+		hBuf = append(hBuf, float64(a.BufferedBytes))
 	}
 	res.HTML5Correlation = stats.Pearson(hRates, hBuf)
 
@@ -222,15 +238,20 @@ func steadyState(o Options, title string, videos []media.Video, mk func() player
 		AccumCDF: map[string]*stats.CDF{},
 		Artifact: Artifact{Title: title},
 	}
+	var cfgs []session.Config
+	for _, net := range netem.Profiles() {
+		for i, v := range videos {
+			cfgs = append(cfgs, ytConfig(v, mk(), net, o.Seed+int64(i), o.Duration))
+		}
+	}
+	results := runSessions(o, cfgs)
 	var allBlocks, allAccum []float64
+	k := 0
 	for _, net := range netem.Profiles() {
 		var blocks, accums []float64
-		for i, v := range videos {
-			r := session.Run(session.Config{
-				Video: v, Service: session.YouTube, Player: mk(),
-				Network: net, Seed: o.Seed + int64(i), Duration: o.Duration,
-			})
-			a := r.Analysis
+		for range videos {
+			a := results[k].Analysis
+			k++
 			for _, b := range a.Blocks {
 				blocks = append(blocks, float64(b)/1e3)
 			}
@@ -298,37 +319,49 @@ func Figure6(o Options) *Figure6Result {
 	res := &Figure6Result{BlockCDF: map[string]*stats.CDF{}, Artifact: Artifact{Title: "Figure 6: long ON-OFF cycles"}}
 
 	tv := media.Video{ID: 24, EncodingRate: 1.2e6, Duration: 600 * time.Second, Container: media.HTML5, Resolution: "360p"}
-	tr := runYouTube(tv, player.NewChromeHtml5(), netem.Research, o.Seed, o.Duration)
+	videos := sampleVideos(media.YouHtml(o.N*4, o.Seed+2), o.N)
+	mob := sampleVideos(media.YouMob(o.N*4, o.Seed+3), o.N)
+	cfgs := []session.Config{ytConfig(tv, player.NewChromeHtml5(), netem.Research, o.Seed, o.Duration)}
+	for _, net := range netem.Profiles() {
+		for i, v := range videos {
+			cfgs = append(cfgs, ytConfig(v, player.NewChromeHtml5(), net, o.Seed+int64(i), o.Duration))
+		}
+	}
+	for i, v := range mob {
+		cfgs = append(cfgs, ytConfig(v, player.NewAndroidYouTube(), netem.Research, o.Seed+500+int64(i), o.Duration))
+	}
+	results := runSessions(o, cfgs)
+
+	tr := results[0]
 	res.Download = downloadSeries(tr, 40)
 	res.Window, _ = windowSeries(tr, 40)
 
-	videos := sampleVideos(media.YouHtml(o.N*4, o.Seed+2), o.N)
 	long, total := 0, 0
+	k := 1
 	for _, net := range netem.Profiles() {
 		var blocks []float64
-		for i, v := range videos {
-			r := runYouTube(v, player.NewChromeHtml5(), net, o.Seed+int64(i), o.Duration)
-			for _, b := range r.Analysis.Blocks {
+		for range videos {
+			for _, b := range results[k].Analysis.Blocks {
 				blocks = append(blocks, mb(b))
 				total++
 				if b >= analysis.LongCycleBytes {
 					long++
 				}
 			}
+			k++
 		}
 		res.BlockCDF["Chrome/"+net.Name] = stats.NewCDF(blocks)
 	}
-	mob := sampleVideos(media.YouMob(o.N*4, o.Seed+3), o.N)
 	var blocks []float64
-	for i, v := range mob {
-		r := runYouTube(v, player.NewAndroidYouTube(), netem.Research, o.Seed+500+int64(i), o.Duration)
-		for _, b := range r.Analysis.Blocks {
+	for range mob {
+		for _, b := range results[k].Analysis.Blocks {
 			blocks = append(blocks, mb(b))
 			total++
 			if b >= analysis.LongCycleBytes {
 				long++
 			}
 		}
+		k++
 	}
 	res.BlockCDF["Android/Research"] = stats.NewCDF(blocks)
 	if total > 0 {
@@ -337,8 +370,15 @@ func Figure6(o Options) *Figure6Result {
 
 	res.Artifact.Addf("(a) Chrome trace: %d download points, OFF periods tens of seconds", len(res.Download))
 	res.Artifact.Addf("(b) block sizes:")
-	for label, c := range res.BlockCDF {
-		if c.N() > 0 {
+	// Fixed label order: map iteration would make the artifact differ
+	// from run to run, breaking byte-identity checks.
+	labels := make([]string, 0, len(res.BlockCDF))
+	for _, net := range netem.Profiles() {
+		labels = append(labels, "Chrome/"+net.Name)
+	}
+	labels = append(labels, "Android/Research")
+	for _, label := range labels {
+		if c := res.BlockCDF[label]; c != nil && c.N() > 0 {
 			res.Artifact.Addf("  %-18s median %.1f MB p10 %.1f MB (n=%d)", label, c.Median(), c.Quantile(0.1), c.N())
 		}
 	}
@@ -364,16 +404,24 @@ func Figure7(o Options) *Figure7Result {
 	res := &Figure7Result{Artifact: Artifact{Title: "Figure 7: streaming strategies for YouTube on iPad"}}
 	v1 := media.Video{ID: 25, EncodingRate: 2.5e6, Duration: 500 * time.Second, Container: media.HTML5, Resolution: "360p"}
 	v2 := media.Video{ID: 26, EncodingRate: 0.4e6, Duration: 500 * time.Second, Container: media.HTML5, Resolution: "240p"}
-	r1 := runYouTube(v1, player.NewIPadYouTube(), netem.Research, o.Seed, o.Duration)
-	r2 := runYouTube(v2, player.NewIPadYouTube(), netem.Research, o.Seed+1, o.Duration)
+	sample := sampleVideos(media.YouMob(o.N*4, o.Seed+4), o.N)
+	cfgs := []session.Config{
+		ytConfig(v1, player.NewIPadYouTube(), netem.Research, o.Seed, o.Duration),
+		ytConfig(v2, player.NewIPadYouTube(), netem.Research, o.Seed+1, o.Duration),
+	}
+	for i, v := range sample {
+		cfgs = append(cfgs, ytConfig(v, player.NewIPadYouTube(), netem.Research, o.Seed+100+int64(i), o.Duration))
+	}
+	results := runSessions(o, cfgs)
+	r1, r2 := results[0], results[1]
 	res.Video1 = downloadSeries(r1, 30)
 	res.Video2 = downloadSeries(r2, 30)
 	res.Conns1 = r1.Analysis.ConnCount
 	res.Conns2 = r2.Analysis.ConnCount
 
 	var rates, blocks []float64
-	for i, v := range sampleVideos(media.YouMob(o.N*4, o.Seed+4), o.N) {
-		r := runYouTube(v, player.NewIPadYouTube(), netem.Research, o.Seed+100+int64(i), o.Duration)
+	for i, v := range sample {
+		r := results[2+i]
 		bs := r.Analysis.Blocks
 		if len(bs) == 0 {
 			continue
@@ -417,9 +465,13 @@ func Figure8(o Options) *Figure8Result {
 	var rates, dl []float64
 	noSteady := 0
 	videos := sampleVideos(media.YouHD(o.N*4, o.Seed+5), o.N)
+	cfgs := make([]session.Config, len(videos))
 	for i, v := range videos {
-		r := runYouTube(v, player.NewFlashPlayer("Mozilla Firefox"), netem.Research, o.Seed+int64(i), o.Duration)
-		a := r.Analysis
+		cfgs[i] = ytConfig(v, player.NewFlashPlayer("Mozilla Firefox"), netem.Research, o.Seed+int64(i), o.Duration)
+	}
+	results := runSessions(o, cfgs)
+	for i, v := range videos {
+		a := results[i].Analysis
 		span := a.Duration.Seconds()
 		if span <= 0 {
 			continue
@@ -487,15 +539,22 @@ func Figure9(o Options, idleReset bool) *Figure9Result {
 		{"iPad", mobV, func() player.Player { return player.NewIPadYouTube() }},
 	}
 	res.Artifact.Addf("%-15s %-14s %-14s %-8s", "Application", "median (kB)", "p90 (kB)", "samples")
+	perApp := (o.N + 3) / 4
+	var cfgs []session.Config
 	for i, app := range apps {
-		var samples []float64
-		for j := 0; j < (o.N+3)/4; j++ {
-			r := session.Run(session.Config{
+		for j := 0; j < perApp; j++ {
+			cfgs = append(cfgs, session.Config{
 				Video: app.video, Service: session.YouTube, Player: app.mk(),
 				Network: netem.Research, Seed: o.Seed + int64(i*10+j), Duration: o.Duration,
 				ServerTCP: tcp.Config{IdleReset: idleReset},
 			})
-			for _, b := range r.Analysis.FirstRTTBytes {
+		}
+	}
+	results := runSessions(o, cfgs)
+	for i, app := range apps {
+		var samples []float64
+		for j := 0; j < perApp; j++ {
+			for _, b := range results[i*perApp+j].Analysis.FirstRTTBytes {
 				samples = append(samples, kb(b))
 			}
 		}

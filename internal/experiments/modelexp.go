@@ -51,11 +51,13 @@ func Table2(o Options) *Table2Result {
 	}
 	res := &Table2Result{Artifact: Artifact{Title: "Table 2: comparison of streaming strategies (interruption at 20%)"}}
 	res.Artifact.Addf("%-28s %-18s %-16s %-14s", "Strategy", "peak ahead (MB)", "unused (MB)", "downloaded")
+	cfgs := make([]session.Config, len(cases))
 	for i, c := range cases {
-		r := session.Run(session.Config{
-			Video: c.video, Service: session.YouTube, Player: c.mk(),
-			Network: netem.Research, Seed: o.Seed + int64(i), Duration: cut,
-		})
+		cfgs[i] = ytConfig(c.video, c.mk(), netem.Research, o.Seed+int64(i), cut)
+	}
+	results := runSessions(o, cfgs)
+	for i, c := range cases {
+		r := results[i]
 		var maxAhead, total float64
 		for _, p := range r.Trace.DownloadSeries() {
 			ahead := float64(p.Bytes) - v.EncodingRate/8*p.TS.Seconds()

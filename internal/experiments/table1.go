@@ -84,12 +84,16 @@ func Table1(o Options) *Table1Result {
 
 	res := &Table1Result{Artifact: Artifact{Title: "Table 1: streaming strategies by service, container and application"}}
 	res.Artifact.Addf("%-9s %-12s %-20s %-14s %-14s", "Service", "Container", "Application", "Paper", "Reproduced")
+	cfgs := make([]session.Config, len(specs))
 	for i, s := range specs {
-		r := session.Run(session.Config{
+		cfgs[i] = session.Config{
 			Video: s.video, Service: s.service, Player: s.mk(),
 			Network: s.network, Seed: o.Seed + int64(i), Duration: o.Duration,
-		})
-		got := r.Analysis.Strategy
+		}
+	}
+	results := runSessions(o, cfgs)
+	for i, s := range specs {
+		got := results[i].Analysis.Strategy
 		// The iPad's mixed behaviour reads as Multiple or Short
 		// depending on which pull sizes dominate the 180 s window;
 		// the paper itself files it under "Multiple".

@@ -113,11 +113,52 @@ type Link struct {
 	loss      LossModel
 	dst       Receiver
 	taps      []Tap
+	pool      []*delivery
 
 	// Counters for tests and diagnostics.
 	Sent    int
 	Dropped int
 	Bytes   int64
+}
+
+// delivery is the per-packet event state: one pooled struct carries a
+// segment through both of its scheduled phases (queue drain at the end
+// of serialization, delivery after propagation), replacing the two
+// closures the link used to allocate per packet.
+type delivery struct {
+	link *Link
+	seg  *packet.Segment
+	size int32
+}
+
+// Delivery phases, dispatched by RunTask.
+const (
+	opDrain int32 = iota
+	opDeliver
+)
+
+// RunTask implements sim.Task.
+func (d *delivery) RunTask(op int32) {
+	l := d.link
+	if op == opDrain {
+		l.queued -= int(d.size)
+		return
+	}
+	seg := d.seg
+	d.seg = nil
+	l.pool = append(l.pool, d) // drain fired first; safe to recycle
+	l.dst.Deliver(seg)
+}
+
+func (l *Link) newDelivery(seg *packet.Segment, size int) *delivery {
+	if n := len(l.pool); n > 0 {
+		d := l.pool[n-1]
+		l.pool = l.pool[:n-1]
+		d.seg = seg
+		d.size = int32(size)
+		return d
+	}
+	return &delivery{link: l, seg: seg, size: int32(size)}
 }
 
 // NewLink builds a link delivering to dst.
@@ -167,8 +208,12 @@ func (l *Link) Send(seg *packet.Segment) {
 	done := start + l.rate.TxTime(size)
 	l.busyUntil = done
 	arrive := done + l.delay
-	l.sch.At(done, func() { l.queued -= size })
-	l.sch.At(arrive, func() { l.dst.Deliver(seg) })
+	// Two heap entries, consecutive sequence numbers (drain before
+	// deliver at equal timestamps), one pooled event object: exactly
+	// the firing order of the original two-closure version.
+	d := l.newDelivery(seg, size)
+	l.sch.AtTask(done, d, opDrain)
+	l.sch.AtTask(arrive, d, opDeliver)
 }
 
 // Path is a bidirectional network between a client and a server,

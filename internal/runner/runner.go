@@ -1,0 +1,73 @@
+// Package runner executes batches of independent simulation jobs on a
+// worker pool. Every session is a fully seeded, single-threaded
+// discrete-event simulation, so sessions are embarrassingly parallel:
+// the pool fans jobs out across cores and returns results in
+// submission order, which keeps experiment artifacts byte-identical to
+// a sequential run regardless of the worker count.
+package runner
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/session"
+)
+
+// Options configures a pool.
+type Options struct {
+	// Workers is the number of concurrent jobs; <= 0 means
+	// runtime.NumCPU().
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Map applies fn to every item on a pool of workers and returns the
+// results indexed exactly like items. fn must be safe to call
+// concurrently for distinct items; determinism is the caller's
+// responsibility and in this repository comes from per-job seeds.
+func Map[T, R any](o Options, items []T, fn func(i int, item T) R) []R {
+	n := len(items)
+	out := make([]R, n)
+	w := o.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i, item := range items {
+			out[i] = fn(i, item)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = fn(i, items[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// Sessions runs every session.Config on the pool and returns the
+// results in submission order. Each config carries its own seed, so
+// the outcome is bit-identical for any worker count.
+func Sessions(o Options, cfgs []session.Config) []*session.Result {
+	return Map(o, cfgs, func(_ int, cfg session.Config) *session.Result {
+		return session.Run(cfg)
+	})
+}

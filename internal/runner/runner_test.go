@@ -1,0 +1,109 @@
+package runner_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/player"
+	"repro/internal/runner"
+	"repro/internal/session"
+)
+
+// TestMapOrderAndCoverage exercises batch sizes below, equal to and
+// above the worker count: results must come back in submission order
+// with every item processed exactly once.
+func TestMapOrderAndCoverage(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{2, 4},  // fewer jobs than workers
+		{4, 4},  // equal
+		{13, 4}, // more jobs than workers
+		{5, 1},  // sequential fallback
+		{0, 4},  // empty batch
+	} {
+		items := make([]int, tc.n)
+		for i := range items {
+			items[i] = i * 10
+		}
+		out := runner.Map(runner.Options{Workers: tc.workers}, items, func(i int, item int) int {
+			return item + i
+		})
+		if len(out) != tc.n {
+			t.Fatalf("n=%d workers=%d: got %d results", tc.n, tc.workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*10+i {
+				t.Fatalf("n=%d workers=%d: out[%d] = %d, want %d", tc.n, tc.workers, i, v, i*10+i)
+			}
+		}
+	}
+}
+
+// TestSessionsDeterministicAcrossWorkerCounts runs the same seeded
+// batch on pools of different sizes; every session result must be
+// bit-identical because each config carries its own seed.
+func TestSessionsDeterministicAcrossWorkerCounts(t *testing.T) {
+	videos := []media.Video{
+		{ID: 1, EncodingRate: 1e6, Duration: 300 * time.Second, Container: media.Flash, Resolution: "360p"},
+		{ID: 2, EncodingRate: 1e6, Duration: 300 * time.Second, Container: media.HTML5, Resolution: "360p"},
+		{ID: 3, EncodingRate: 2e6, Duration: 240 * time.Second, Container: media.Flash, Resolution: "360p"},
+	}
+	build := func() []session.Config {
+		return []session.Config{
+			{Video: videos[0], Service: session.YouTube, Player: player.NewFlashPlayer("Internet Explorer"), Network: netem.Research, Seed: 11, Duration: 45 * time.Second},
+			{Video: videos[1], Service: session.YouTube, Player: player.NewIEHtml5(), Network: netem.Residence, Seed: 12, Duration: 45 * time.Second},
+			{Video: videos[2], Service: session.YouTube, Player: player.NewChromeHtml5(), Network: netem.Home, Seed: 13, Duration: 45 * time.Second},
+		}
+	}
+	seq := runner.Sessions(runner.Options{Workers: 1}, build())
+	par := runner.Sessions(runner.Options{Workers: 8}, build())
+	for i := range seq {
+		a, b := seq[i], par[i]
+		if a.Downloaded != b.Downloaded {
+			t.Fatalf("session %d: downloaded %d (1 worker) vs %d (8 workers)", i, a.Downloaded, b.Downloaded)
+		}
+		if a.Trace.Len() != b.Trace.Len() {
+			t.Fatalf("session %d: trace length %d vs %d", i, a.Trace.Len(), b.Trace.Len())
+		}
+		if a.Analysis.Strategy != b.Analysis.Strategy {
+			t.Fatalf("session %d: strategy %v vs %v", i, a.Analysis.Strategy, b.Analysis.Strategy)
+		}
+		if a.Analysis.TotalBytes != b.Analysis.TotalBytes {
+			t.Fatalf("session %d: bytes %d vs %d", i, a.Analysis.TotalBytes, b.Analysis.TotalBytes)
+		}
+	}
+}
+
+// testOpts builds experiment options sized for a fast but meaningful
+// byte-identity check.
+func testOpts(workers int) experiments.Options {
+	return experiments.Options{N: 2, Seed: 3, Duration: 40 * time.Second, Workers: workers}
+}
+
+// TestTable1ArtifactByteIdentical is the tentpole's hard constraint:
+// the printable Table 1 artifact must not change with the pool size.
+func TestTable1ArtifactByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	seq := experiments.Table1(testOpts(1)).Artifact.String()
+	par := experiments.Table1(testOpts(8)).Artifact.String()
+	if seq != par {
+		t.Fatalf("Table1 artifact differs between Workers=1 and Workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestFigure2ArtifactByteIdentical covers a figure with interleaved
+// series output.
+func TestFigure2ArtifactByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	seq := experiments.Figure2(testOpts(1)).Artifact.String()
+	par := experiments.Figure2(testOpts(8)).Artifact.String()
+	if seq != par {
+		t.Fatalf("Figure2 artifact differs between Workers=1 and Workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}

@@ -3,81 +3,85 @@
 // time.Duration offset from the start of the simulation; events fire in
 // (time, insertion-order) order, so runs with the same seed are fully
 // reproducible.
+//
+// The event queue is a value-based 4-ary heap: entries are stored
+// inline, so scheduling a fire-and-forget event performs no allocation
+// beyond the callback itself. Hot paths that would otherwise allocate a
+// closure per event can instead implement Task and schedule themselves
+// with AtTask, passing a small op code to select the behaviour.
+// Cancellable timers draw bookkeeping slots from a free list, so
+// re-arming a timer (the TCP RTO pattern) is allocation-free at steady
+// state.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
-// event is a scheduled callback. seq breaks ties between events
-// scheduled for the same instant so ordering is deterministic.
+// Task is a pre-allocated event callback. A single Task value may be
+// scheduled several times with different op codes; RunTask dispatches
+// on op. This exists so hot paths (one or more events per packet) can
+// avoid allocating a closure per event.
+type Task interface {
+	RunTask(op int32)
+}
+
+// event is one scheduled callback, stored by value in the heap. seq
+// breaks ties between events scheduled for the same instant so
+// ordering is deterministic. Exactly one of fn and task is set. slot
+// is the timer-slot index for cancellable events, -1 otherwise.
 type event struct {
-	at      time.Duration
-	seq     uint64
-	fn      func()
+	at   time.Duration
+	seq  uint64
+	fn   func()
+	task Task
+	op   int32
+	slot int32
+}
+
+// timerSlot tracks the cancellation state of one outstanding timer.
+// Slots are recycled through a free list; gen distinguishes a live
+// slot from a stale Timer handle pointing at a recycled one.
+type timerSlot struct {
+	gen     uint32
+	pending bool
 	stopped bool
-	index   int // heap index, -1 once popped
 }
 
-type eventHeap []*event
+const noSlot = -1
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
-
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a handle to a cancellable scheduled event. The zero value
+// is inert: Stop and Active return false.
 type Timer struct {
-	ev *event
+	s    *Scheduler
+	slot int32
+	gen  uint32
 }
 
 // Stop cancels the timer. It reports whether the callback had not yet
 // fired (and therefore will never fire). Stopping an already-fired or
-// already-stopped timer is a no-op.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.stopped || t.ev.index == -1 && t.ev.fn == nil {
+// already-stopped timer is a no-op that reports false.
+func (t Timer) Stop() bool {
+	if t.s == nil {
 		return false
 	}
-	if t.ev.stopped {
+	sl := &t.s.slots[t.slot]
+	if sl.gen != t.gen || !sl.pending || sl.stopped {
 		return false
 	}
-	fired := t.ev.index == -1
-	t.ev.stopped = true
-	return !fired
+	sl.stopped = true
+	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.stopped && t.ev.index != -1
+func (t Timer) Active() bool {
+	if t.s == nil {
+		return false
+	}
+	sl := &t.s.slots[t.slot]
+	return sl.gen == t.gen && sl.pending && !sl.stopped
 }
 
 // Scheduler is a single-threaded discrete-event loop. The zero value is
@@ -85,7 +89,9 @@ func (t *Timer) Active() bool {
 type Scheduler struct {
 	now     time.Duration
 	seq     uint64
-	events  eventHeap
+	heap    []event
+	slots   []timerSlot
+	free    []int32
 	rng     *rand.Rand
 	stopped bool
 }
@@ -102,38 +108,182 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 // Rand returns the scheduler's deterministic random source.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the
-// past panics: it is always a logic error in a discrete-event model.
-func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
+func (s *Scheduler) schedule(t time.Duration, fn func(), task Task, op int32, slot int32) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.push(event{at: t, seq: s.seq, fn: fn, task: task, op: op, slot: slot})
 	s.seq++
-	heap.Push(&s.events, ev)
-	return &Timer{ev: ev}
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it is always a logic error in a discrete-event model.
+// Use TimerAt when the event may need to be cancelled.
+func (s *Scheduler) At(t time.Duration, fn func()) {
+	s.schedule(t, fn, nil, 0, noSlot)
+}
+
+// fromNow converts a relative delay to an absolute timestamp,
+// clamping negative delays to "now".
+func (s *Scheduler) fromNow(d time.Duration) time.Duration {
+	if d < 0 {
+		return s.now
+	}
+	return s.now + d
 }
 
 // After schedules fn to run d after the current time.
-func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
-	if d < 0 {
-		d = 0
-	}
-	return s.At(s.now+d, fn)
+func (s *Scheduler) After(d time.Duration, fn func()) {
+	s.schedule(s.fromNow(d), fn, nil, 0, noSlot)
 }
+
+// AtTask schedules task.RunTask(op) at absolute virtual time t without
+// allocating: the task is supplied by the caller and the event itself
+// is stored inline in the heap.
+func (s *Scheduler) AtTask(t time.Duration, task Task, op int32) {
+	s.schedule(t, nil, task, op, noSlot)
+}
+
+// AfterTask schedules task.RunTask(op) to run d after the current time.
+func (s *Scheduler) AfterTask(d time.Duration, task Task, op int32) {
+	s.schedule(s.fromNow(d), nil, task, op, noSlot)
+}
+
+// newTimer allocates a cancellation slot from the free list.
+func (s *Scheduler) newTimer() (int32, Timer) {
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		slot = int32(len(s.slots))
+		s.slots = append(s.slots, timerSlot{})
+	}
+	sl := &s.slots[slot]
+	sl.pending = true
+	sl.stopped = false
+	return slot, Timer{s: s, slot: slot, gen: sl.gen}
+}
+
+// freeSlot retires a slot after its event popped (fired or cancelled),
+// invalidating outstanding Timer handles.
+func (s *Scheduler) freeSlot(slot int32) {
+	sl := &s.slots[slot]
+	sl.gen++
+	sl.pending = false
+	sl.stopped = false
+	s.free = append(s.free, slot)
+}
+
+// TimerAt schedules fn at absolute virtual time t and returns a handle
+// that can cancel it.
+func (s *Scheduler) TimerAt(t time.Duration, fn func()) Timer {
+	slot, tm := s.newTimer()
+	s.schedule(t, fn, nil, 0, slot)
+	return tm
+}
+
+// TimerAfter schedules fn to run d after the current time and returns
+// a cancellation handle.
+func (s *Scheduler) TimerAfter(d time.Duration, fn func()) Timer {
+	return s.TimerAt(s.fromNow(d), fn)
+}
+
+// TimerAfterTask is TimerAfter for pre-allocated Tasks: cancellable and
+// allocation-free at steady state.
+func (s *Scheduler) TimerAfterTask(d time.Duration, task Task, op int32) Timer {
+	slot, tm := s.newTimer()
+	s.schedule(s.fromNow(d), nil, task, op, slot)
+	return tm
+}
+
+// ---- 4-ary heap, ordered by (at, seq) ----
+//
+// A 4-ary layout halves the tree depth of a binary heap; combined with
+// value storage this keeps pop/push cache-friendly, which dominates
+// the simulator's profile at packet scale.
+
+func evLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) push(ev event) {
+	s.heap = append(s.heap, ev)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !evLess(&ev, &s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		i = p
+	}
+	s.heap[i] = ev
+}
+
+func (s *Scheduler) pop() event {
+	top := s.heap[0]
+	n := len(s.heap) - 1
+	ev := s.heap[n]
+	s.heap[n] = event{} // release fn/task references
+	s.heap = s.heap[:n]
+	if n > 0 {
+		s.siftDown(ev)
+	}
+	return top
+}
+
+func (s *Scheduler) siftDown(ev event) {
+	h := s.heap
+	n := len(h)
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if evLess(&h[c], &h[best]) {
+				best = c
+			}
+		}
+		if !evLess(&h[best], &ev) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = ev
+}
+
+// ---- Event loop ----
 
 // Step runs the single earliest pending event. It reports whether an
 // event was run.
 func (s *Scheduler) Step() bool {
-	for s.events.Len() > 0 {
-		ev := heap.Pop(&s.events).(*event)
-		if ev.stopped {
-			continue
+	for len(s.heap) > 0 {
+		ev := s.pop()
+		if ev.slot != noSlot {
+			cancelled := s.slots[ev.slot].stopped
+			s.freeSlot(ev.slot)
+			if cancelled {
+				continue
+			}
 		}
 		s.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		fn()
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			ev.task.RunTask(ev.op)
+		}
 		return true
 	}
 	return false
@@ -152,14 +302,8 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) RunUntil(deadline time.Duration) {
 	s.stopped = false
 	for !s.stopped {
-		if s.events.Len() == 0 {
-			break
-		}
-		next := s.peek()
-		if next == nil {
-			break
-		}
-		if next.at > deadline {
+		next, ok := s.peek()
+		if !ok || next > deadline {
 			break
 		}
 		s.Step()
@@ -169,16 +313,19 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 	}
 }
 
-func (s *Scheduler) peek() *event {
-	for s.events.Len() > 0 {
-		ev := s.events[0]
-		if ev.stopped {
-			heap.Pop(&s.events)
+// peek reports the timestamp of the earliest live event, discarding
+// cancelled timers it encounters at the top of the heap.
+func (s *Scheduler) peek() (time.Duration, bool) {
+	for len(s.heap) > 0 {
+		ev := &s.heap[0]
+		if ev.slot != noSlot && s.slots[ev.slot].stopped {
+			popped := s.pop()
+			s.freeSlot(popped.slot)
 			continue
 		}
-		return ev
+		return ev.at, true
 	}
-	return nil
+	return 0, false
 }
 
 // Stop aborts a Run or RunUntil in progress after the current event.
@@ -187,10 +334,12 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // Pending returns the number of live scheduled events.
 func (s *Scheduler) Pending() int {
 	n := 0
-	for _, ev := range s.events {
-		if !ev.stopped {
-			n++
+	for i := range s.heap {
+		ev := &s.heap[i]
+		if ev.slot != noSlot && s.slots[ev.slot].stopped {
+			continue
 		}
+		n++
 	}
 	return n
 }

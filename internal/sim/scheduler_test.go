@@ -64,7 +64,7 @@ func TestSchedulerPastPanics(t *testing.T) {
 func TestTimerStop(t *testing.T) {
 	s := NewScheduler(1)
 	fired := false
-	tm := s.After(10*time.Millisecond, func() { fired = true })
+	tm := s.TimerAfter(10*time.Millisecond, func() { fired = true })
 	if !tm.Active() {
 		t.Fatal("timer should be active before firing")
 	}
@@ -82,13 +82,88 @@ func TestTimerStop(t *testing.T) {
 
 func TestTimerStopAfterFire(t *testing.T) {
 	s := NewScheduler(1)
-	tm := s.After(time.Millisecond, func() {})
+	tm := s.TimerAfter(time.Millisecond, func() {})
 	s.Run()
 	if tm.Active() {
 		t.Fatal("fired timer still active")
 	}
 	if tm.Stop() {
 		t.Fatal("Stop after fire should report false")
+	}
+}
+
+// Regression for the seed's operator-precedence bug: Stop after the
+// callback fired must report false even when called many times, and a
+// double Stop on a pending timer must cancel exactly once.
+func TestTimerStopAfterFireAndDoubleStop(t *testing.T) {
+	s := NewScheduler(1)
+	fired := 0
+	tm := s.TimerAfter(time.Millisecond, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+	for i := 0; i < 3; i++ {
+		if tm.Stop() {
+			t.Fatalf("Stop #%d after fire reported true", i+1)
+		}
+	}
+
+	cancelled := s.TimerAfter(time.Millisecond, func() { t.Fatal("stopped timer fired") })
+	if !cancelled.Stop() {
+		t.Fatal("first Stop on a pending timer must report true")
+	}
+	if cancelled.Stop() {
+		t.Fatal("second Stop on the same timer must report false")
+	}
+	if cancelled.Active() {
+		t.Fatal("stopped timer still active")
+	}
+	s.Run()
+}
+
+// A recycled timer slot must not resurrect a stale handle.
+func TestTimerSlotReuse(t *testing.T) {
+	s := NewScheduler(1)
+	old := s.TimerAfter(time.Millisecond, func() {})
+	s.Run()
+	fired := false
+	fresh := s.TimerAfter(time.Millisecond, func() { fired = true })
+	if old.Stop() || old.Active() {
+		t.Fatal("stale handle acted on a recycled slot")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("fresh timer did not fire")
+	}
+	_ = fresh
+}
+
+type opRecorder struct{ ops []int32 }
+
+func (r *opRecorder) RunTask(op int32) { r.ops = append(r.ops, op) }
+
+func TestTaskScheduling(t *testing.T) {
+	s := NewScheduler(1)
+	r := &opRecorder{}
+	s.AtTask(2*time.Millisecond, r, 2)
+	s.AtTask(time.Millisecond, r, 1)
+	s.AfterTask(3*time.Millisecond, r, 3)
+	tm := s.TimerAfterTask(4*time.Millisecond, r, 4)
+	stopped := s.TimerAfterTask(5*time.Millisecond, r, 5)
+	stopped.Stop()
+	s.Run()
+	want := []int32{1, 2, 3, 4}
+	if len(r.ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", r.ops, want)
+	}
+	for i := range want {
+		if r.ops[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", r.ops, want)
+		}
+	}
+	if tm.Active() {
+		t.Fatal("fired task timer still active")
 	}
 }
 

@@ -60,9 +60,9 @@ type Conn struct {
 	rtoBackoff   int
 	rttSampleOff int64 // stream offset whose ack completes the sample; -1 idle
 	rttSampleAt  time.Duration
-	rtoTimer     *sim.Timer
-	persistTimer *sim.Timer
-	synTimer     *sim.Timer
+	rtoTimer     sim.Timer
+	persistTimer sim.Timer
+	synTimer     sim.Timer
 
 	// Receive state.
 	irs       uint32
@@ -70,7 +70,7 @@ type Conn struct {
 	rcvBuf    recvBuffer
 	ooo       map[int64]*packet.Segment
 	lastAdvW  int
-	ackTimer  *sim.Timer
+	ackTimer  sim.Timer
 	unacked   int // segments received since last ACK sent
 	remoteFin bool
 
@@ -200,10 +200,33 @@ func (c *Conn) teardown() {
 	}
 }
 
-func (c *Conn) stopTimer(t **sim.Timer) {
-	if *t != nil {
-		(*t).Stop()
-		*t = nil
+func (c *Conn) stopTimer(t *sim.Timer) {
+	t.Stop()
+	*t = sim.Timer{}
+}
+
+// Timer op codes for Conn's sim.Task implementation.
+const (
+	connOpRTO int32 = iota
+	connOpPersist
+	connOpSYN
+	connOpDelAck
+)
+
+// RunTask implements sim.Task: all four connection timers dispatch
+// through the Conn itself, so re-arming a timer never allocates a
+// closure — this matters because the RTO is restarted on every ACK.
+func (c *Conn) RunTask(op int32) {
+	switch op {
+	case connOpRTO:
+		c.onRTO()
+	case connOpPersist:
+		c.onPersist()
+	case connOpSYN:
+		c.onSYNTimer()
+	case connOpDelAck:
+		c.ackTimer = sim.Timer{}
+		c.sendAck()
 	}
 }
 
@@ -272,18 +295,19 @@ func (c *Conn) sendSYNACK() {
 
 func (c *Conn) armSYNTimer() {
 	c.stopTimer(&c.synTimer)
-	timeout := c.rto
-	c.synTimer = c.host.sch.After(timeout, func() {
-		if c.state == StateSynSent {
-			c.rto = minDur(c.rto*2, c.cfg.MaxRTO)
-			c.Stats.Retransmits++
-			c.sendSYN()
-		} else if c.state == StateSynReceived {
-			c.rto = minDur(c.rto*2, c.cfg.MaxRTO)
-			c.Stats.Retransmits++
-			c.sendSYNACK()
-		}
-	})
+	c.synTimer = c.host.sch.TimerAfterTask(c.rto, c, connOpSYN)
+}
+
+func (c *Conn) onSYNTimer() {
+	if c.state == StateSynSent {
+		c.rto = minDur(c.rto*2, c.cfg.MaxRTO)
+		c.Stats.Retransmits++
+		c.sendSYN()
+	} else if c.state == StateSynReceived {
+		c.rto = minDur(c.rto*2, c.cfg.MaxRTO)
+		c.Stats.Retransmits++
+		c.sendSYNACK()
+	}
 }
 
 // ---- Inbound segment processing ----
@@ -555,7 +579,7 @@ func (c *Conn) trySend() {
 		c.restartRTO()
 	}
 	// Persist: data waiting but window closed.
-	if c.sndWnd == 0 && c.sndBuf.Len() > c.sndNxt && c.persistTimer == nil {
+	if c.sndWnd == 0 && c.sndBuf.Len() > c.sndNxt && !c.persistTimer.Active() {
 		c.armPersist()
 	}
 }
@@ -596,7 +620,7 @@ func (c *Conn) transmitData(off int64, n int) {
 		c.rttSampleOff = off + int64(n)
 		c.rttSampleAt = c.host.sch.Now()
 	}
-	if c.rtoTimer == nil {
+	if !c.rtoTimer.Active() {
 		c.restartRTO()
 	}
 	// Receiving a piggybacked ACK resets the delayed-ack debt.
@@ -653,11 +677,11 @@ func (c *Conn) restartRTO() {
 	}
 	backoff := c.rto << c.rtoBackoff
 	backoff = minDur(backoff, c.cfg.MaxRTO)
-	c.rtoTimer = c.host.sch.After(backoff, c.onRTO)
+	c.rtoTimer = c.host.sch.TimerAfterTask(backoff, c, connOpRTO)
 }
 
 func (c *Conn) onRTO() {
-	c.rtoTimer = nil
+	c.rtoTimer = sim.Timer{}
 	if c.state == StateClosed {
 		return
 	}
@@ -693,20 +717,22 @@ func (c *Conn) onRTO() {
 
 func (c *Conn) armPersist() {
 	interval := maxDur(c.rto, time.Second)
-	c.persistTimer = c.host.sch.After(interval, func() {
-		c.persistTimer = nil
-		if c.state == StateClosed || c.sndWnd > 0 {
-			return
-		}
-		// Zero-window probe in the classic keepalive style: one
-		// already-acknowledged byte at snd.una-1. The receiver treats
-		// it as a duplicate and replies with an ACK carrying its
-		// current window, reviving the transfer even when the real
-		// window update was lost.
-		seg := c.mkSegment(packet.FlagACK, c.sndUna-1, zeroPage[:1], 0)
-		c.host.send(seg)
-		c.armPersist()
-	})
+	c.persistTimer = c.host.sch.TimerAfterTask(interval, c, connOpPersist)
+}
+
+func (c *Conn) onPersist() {
+	c.persistTimer = sim.Timer{}
+	if c.state == StateClosed || c.sndWnd > 0 {
+		return
+	}
+	// Zero-window probe in the classic keepalive style: one
+	// already-acknowledged byte at snd.una-1. The receiver treats
+	// it as a duplicate and replies with an ACK carrying its
+	// current window, reviving the transfer even when the real
+	// window update was lost.
+	seg := c.mkSegment(packet.FlagACK, c.sndUna-1, zeroPage[:1], 0)
+	c.host.send(seg)
+	c.armPersist()
 }
 
 // ---- Receive path ----
@@ -799,11 +825,8 @@ func (c *Conn) scheduleAck(seg *packet.Segment) {
 		c.sendAck()
 		return
 	}
-	if c.ackTimer == nil {
-		c.ackTimer = c.host.sch.After(c.cfg.AckDelay, func() {
-			c.ackTimer = nil
-			c.sendAck()
-		})
+	if !c.ackTimer.Active() {
+		c.ackTimer = c.host.sch.TimerAfterTask(c.cfg.AckDelay, c, connOpDelAck)
 	}
 }
 
