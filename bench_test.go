@@ -221,3 +221,17 @@ func BenchmarkExtensionFluidCheck(b *testing.B) {
 		emit(b, &res.Artifact)
 	}
 }
+
+func BenchmarkScenarioRateDrop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.ScenarioRateDrop(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}
+
+func BenchmarkScenarioFlashCrowd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.ScenarioFlashCrowd(benchOpts())
+		emit(b, &res.Artifact)
+	}
+}

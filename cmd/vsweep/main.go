@@ -46,6 +46,12 @@ var registry = map[string]runner{
 		return experiments.ModelInterruption(o).Artifact.String()
 	},
 	"model-waste": func(o experiments.Options) string { return experiments.ModelWaste(o).Artifact.String() },
+	"scenario-ratedrop": func(o experiments.Options) string {
+		return experiments.ScenarioRateDrop(o).Artifact.String()
+	},
+	"scenario-flashcrowd": func(o experiments.Options) string {
+		return experiments.ScenarioFlashCrowd(o).Artifact.String()
+	},
 }
 
 // order fixes the presentation sequence for -exp all.
@@ -53,6 +59,7 @@ var order = []string{
 	"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 	"fig8", "fig9", "fig9-idlereset", "fig10", "fig11", "fig12",
 	"table2", "model-agg", "model-smooth", "model-interrupt", "model-waste",
+	"scenario-ratedrop", "scenario-flashcrowd",
 }
 
 func main() {

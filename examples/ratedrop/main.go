@@ -1,0 +1,52 @@
+// Ratedrop: the same Flash session twice — once on a frozen Residence
+// link, once with the downlink dropping below the encoding rate
+// mid-session — showing how a time-varying network rewrites the wire
+// pattern the classifier sees. This is the scenario subsystem's
+// smallest useful program.
+//
+//	go run ./examples/ratedrop
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+)
+
+func main() {
+	base := scenario.Spec{
+		Name:    "static",
+		Profile: netem.Residence, // 7.7 Mbps ADSL vantage
+		Player:  scenario.Flash,  // server-paced short ON-OFF
+		Video: media.Video{
+			ID: 100, EncodingRate: 1e6, Duration: 5 * time.Minute,
+			Container: media.Flash, Resolution: "360p",
+		},
+		Duration: 3 * time.Minute,
+		Seed:     42,
+	}
+	drop := base
+	drop.Name = "ratedrop"
+	// At t=30s the downlink collapses to 800 kbps — below the 1 Mbps
+	// encoding rate — then recovers with a 10 s ramp at 2m.
+	drop.Down = netem.Dynamics{}.
+		Then(netem.RateStep(30*time.Second, 800*netem.Kbps)).
+		Then(netem.RateRamp(2*time.Minute, 10*time.Second, 7.7*netem.Mbps))
+
+	fmt.Println("=== ratedrop: mid-session bandwidth drop vs static baseline ===")
+	for _, sp := range []scenario.Spec{base, drop} {
+		r := scenario.RunIsolated(runner.Options{}, sp)[0]
+		a := r.Analysis
+		fmt.Printf("%-9s: %-14s %3d blocks (median %4.0f kB), %5.2f MB downloaded, retrans %.2f%%\n",
+			sp.Name, a.Strategy, len(a.Blocks), float64(a.MedianBlock())/1e3,
+			float64(r.Downloaded)/1e6, a.RetransRate*100)
+	}
+	fmt.Println()
+	fmt.Println("The pinned link leaves no idle gaps: the short ON-OFF cycles of the")
+	fmt.Println("static run melt into a continuous bulk-like transfer until the ramp")
+	fmt.Println("restores headroom — a strategy switch caused purely by the network.")
+}

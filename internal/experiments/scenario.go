@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/session"
+	"repro/internal/stats"
+)
+
+// The scenario experiment family probes workloads the paper's frozen
+// per-capture networks could not produce: mid-session bandwidth drops
+// that force a strategy's wire pattern to degenerate, and flash crowds
+// of sessions joining a shared bottleneck over time. Like every other
+// experiment, artifacts are byte-identical for any worker count.
+
+// RateDropRow is one player's static-vs-dynamic comparison.
+type RateDropRow struct {
+	Player  string
+	Static  analysis.Strategy
+	Dynamic analysis.Strategy
+	// Block counts and medians expose *why* the classification moved:
+	// the drop melts ON-OFF cycles into one continuous transfer.
+	StaticBlocks, DynamicBlocks   int
+	StaticMedianKB, DynMedianKB   float64
+	StaticRetrans, DynamicRetrans float64 // retransmission rates
+}
+
+// ScenarioRateDropResult is the full sweep.
+type ScenarioRateDropResult struct {
+	Rows     []RateDropRow
+	Artifact Artifact
+}
+
+// rateDropSpecs builds the static/dynamic spec pair for one player.
+// The drop fires at one sixth of the horizon — late enough that
+// buffering has finished and a steady-state pattern exists, early
+// enough that the degenerate regime dominates the trace — and pins the
+// downstream below the encoding rate, so rate-limited pacing can no
+// longer leave the link idle.
+func rateDropSpecs(k scenario.PlayerKind, o Options) (static, dynamic scenario.Spec) {
+	v := media.Video{
+		ID: 500, EncodingRate: 1e6, Duration: 400 * time.Second,
+		Resolution: "360p", Container: k.NativeContainer(),
+	}
+	static = scenario.Spec{
+		Name:     "static/" + k.String(),
+		Profile:  netem.Residence,
+		Player:   k,
+		Video:    v,
+		Duration: o.Duration,
+		Seed:     o.Seed + 21,
+	}
+	dynamic = static
+	dynamic.Name = "ratedrop/" + k.String()
+	dynamic.Down = netem.Dynamics{}.Then(netem.RateStep(o.Duration/6, 800*netem.Kbps))
+	return static, dynamic
+}
+
+// ScenarioRateDrop streams each YouTube browser player over a frozen
+// Residence link and over the same link whose rate drops below the
+// encoding rate at one sixth of the capture, then compares the
+// classified strategies. The drop degenerates rate-limited strategies
+// into continuous bulk-like transfers — OFF periods vanish — which is
+// exactly the paper's warning that its phase detection reacts to
+// network artefacts, now reproduced on demand.
+func ScenarioRateDrop(o Options) *ScenarioRateDropResult {
+	o = o.withDefaults()
+	kinds := []scenario.PlayerKind{
+		scenario.Flash, scenario.IEHtml5, scenario.ChromeHtml5, scenario.FirefoxHtml5,
+	}
+	// One flat batch (static, dynamic per kind) so the pool fans every
+	// session out at once; results come back in submission order.
+	var cfgs []session.Config
+	for _, k := range kinds {
+		st, dy := rateDropSpecs(k, o)
+		cfgs = append(cfgs, st.Configs()...)
+		cfgs = append(cfgs, dy.Configs()...)
+	}
+	results := runSessions(o, cfgs)
+
+	res := &ScenarioRateDropResult{Artifact: Artifact{Title: "Scenario: mid-session bandwidth drop vs static baseline"}}
+	res.Artifact.Addf("Residence downlink drops to 0.8 Mbps (below the 1 Mbps encoding rate) at t=%v of %v",
+		o.Duration/6, o.Duration)
+	res.Artifact.Addf("%-26s %-14s %-16s %-18s %-18s", "player", "static", "with rate drop", "blocks (st->dy)", "retrans (st->dy)")
+	for i, k := range kinds {
+		st, dy := results[2*i].Analysis, results[2*i+1].Analysis
+		row := RateDropRow{
+			Player:         k.New().Name(),
+			Static:         st.Strategy,
+			Dynamic:        dy.Strategy,
+			StaticBlocks:   len(st.Blocks),
+			DynamicBlocks:  len(dy.Blocks),
+			StaticMedianKB: float64(st.MedianBlock()) / 1e3,
+			DynMedianKB:    float64(dy.MedianBlock()) / 1e3,
+			StaticRetrans:  st.RetransRate,
+			DynamicRetrans: dy.RetransRate,
+		}
+		res.Rows = append(res.Rows, row)
+		res.Artifact.Addf("%-26s %-14s %-16s %-18s %-18s",
+			row.Player, row.Static, row.Dynamic,
+			fmt.Sprintf("%d -> %d", row.StaticBlocks, row.DynamicBlocks),
+			fmt.Sprintf("%.2f%% -> %.2f%%", row.StaticRetrans*100, row.DynamicRetrans*100))
+	}
+	res.Artifact.Addf("a pinned link leaves no room for OFF periods: rate-limited strategies degenerate to bulk")
+	return res
+}
+
+// FlashCrowdRow is one strategy's shared-bottleneck outcome under a
+// flash-crowd arrival process.
+type FlashCrowdRow struct {
+	Strategy    string
+	Sessions    int
+	InducedLoss float64
+	Aggregate   float64 // mean downstream Mbps over the horizon
+	Mix         string  // classified strategy mix across sessions
+	// EarlyMB/LateMB compare the median download of the first and last
+	// arrival quartile: late joiners pay for the crowd.
+	EarlyMB, LateMB float64
+}
+
+// ScenarioFlashCrowdResult is the full sweep.
+type ScenarioFlashCrowdResult struct {
+	Rows     []FlashCrowdRow
+	Artifact Artifact
+}
+
+// ScenarioFlashCrowd packs an audience onto one 20 Mbps bottleneck,
+// with every session of a strategy arriving within the first tenth of
+// a window — the sudden-audience workload. It measures the loss each
+// strategy's synchronized buffering phase induces and how late
+// arrivals fare against early ones (competing sessions joining over
+// time, the paper's future-work question at packet level).
+func ScenarioFlashCrowd(o Options) *ScenarioFlashCrowdResult {
+	o = o.withDefaults()
+	n := o.N * 2
+	if n < 6 {
+		n = 6
+	}
+	prof := netem.Profile{
+		Name: "crowded", Down: 20 * netem.Mbps, Up: 20 * netem.Mbps,
+		RTT: 40 * time.Millisecond, Queue: 256 << 10,
+	}
+	kinds := []scenario.PlayerKind{scenario.Flash, scenario.ChromeHtml5, scenario.FirefoxHtml5}
+	res := &ScenarioFlashCrowdResult{Artifact: Artifact{Title: "Scenario: flash crowd on a shared 20 Mbps bottleneck"}}
+	res.Artifact.Addf("%d x 1.2 Mbps sessions join within the first %v of a %v capture",
+		n, time.Duration(float64(o.Duration)/3*0.1), o.Duration)
+	res.Artifact.Addf("%-24s %-10s %-12s %-16s %-20s %s", "strategy", "sessions", "loss", "aggregate Mbps", "early/late MB", "per-session mix")
+	// Each strategy is one single-threaded shared simulation; the pool
+	// runs the strategies concurrently, ordered by submission.
+	rows := runner.Map(o.pool(), kinds, func(ki int, k scenario.PlayerKind) FlashCrowdRow {
+		sp := scenario.Spec{
+			Name:    "flashcrowd/" + k.String(),
+			Profile: prof,
+			Player:  k,
+			Video: media.Video{
+				ID: 700, EncodingRate: 1.2e6, Duration: 420 * time.Second,
+				Resolution: "360p", Container: k.NativeContainer(),
+			},
+			Sessions: n,
+			Arrival:  scenario.Arrival{Kind: scenario.FlashCrowd, Window: o.Duration / 3},
+			Duration: o.Duration,
+			Seed:     o.Seed + int64(ki)*101,
+		}
+		shared := scenario.RunShared(sp)
+		row := FlashCrowdRow{
+			Strategy:    k.New().Name(),
+			Sessions:    n,
+			InducedLoss: shared.InducedLoss,
+			Aggregate:   shared.AggregateMbps,
+			Mix:         shared.StrategyMix(),
+		}
+		q := len(shared.Outcomes) / 4
+		if q < 1 {
+			q = 1
+		}
+		var early, late []float64
+		for i, out := range shared.Outcomes { // outcomes are arrival-sorted
+			if i < q {
+				early = append(early, float64(out.Downloaded)/1e6)
+			}
+			if i >= len(shared.Outcomes)-q {
+				late = append(late, float64(out.Downloaded)/1e6)
+			}
+		}
+		row.EarlyMB = stats.Median(early)
+		row.LateMB = stats.Median(late)
+		return row
+	})
+	res.Rows = rows
+	for _, row := range rows {
+		res.Artifact.Addf("%-24s %-10d %-12s %-16.1f %-20s %s",
+			row.Strategy, row.Sessions,
+			fmt.Sprintf("%.3f%%", row.InducedLoss*100),
+			row.Aggregate,
+			fmt.Sprintf("%.1f / %.1f", row.EarlyMB, row.LateMB),
+			row.Mix)
+	}
+	res.Artifact.Addf("synchronized buffering phases slam the queue; late joiners stream into the backlog")
+	return res
+}

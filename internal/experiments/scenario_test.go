@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+// TestScenarioRateDropFlipsClassifier is the PR's acceptance
+// criterion: a mid-session rate drop must measurably change the
+// classifier output against the static baseline. Flash is the paper's
+// canonical short ON-OFF strategy; a link pinned below the encoding
+// rate leaves no room for OFF periods and the capture degenerates to a
+// bulk-like transfer.
+func TestScenarioRateDropFlipsClassifier(t *testing.T) {
+	res := ScenarioRateDrop(Options{N: 1, Seed: 3, Duration: 180 * time.Second})
+	if len(res.Rows) < 3 {
+		t.Fatalf("only %d rows", len(res.Rows))
+	}
+	flash := res.Rows[0]
+	if !strings.Contains(flash.Player, "Flash") {
+		t.Fatalf("first row is %q, want the Flash player", flash.Player)
+	}
+	if flash.Static != analysis.ShortOnOff {
+		t.Fatalf("static Flash baseline classified %v, want Short ON-OFF\n%s", flash.Static, res.Artifact.String())
+	}
+	if flash.Dynamic == flash.Static {
+		t.Fatalf("rate drop did not change the Flash classification (%v)\n%s", flash.Dynamic, res.Artifact.String())
+	}
+	if flash.Dynamic != analysis.NoOnOff {
+		t.Fatalf("rate drop classified %v, want No ON-OFF (cycles melt together)\n%s", flash.Dynamic, res.Artifact.String())
+	}
+	// The mechanism, not just the label: cycles must have merged.
+	if flash.DynamicBlocks >= flash.StaticBlocks/2 {
+		t.Fatalf("blocks %d -> %d: the drop should merge most cycles", flash.StaticBlocks, flash.DynamicBlocks)
+	}
+	// Firefox is a bulk transfer either way: the drop must NOT flip it.
+	for _, row := range res.Rows {
+		if strings.Contains(row.Player, "Firefox") && row.Static != row.Dynamic {
+			t.Fatalf("Firefox (already bulk) flipped from %v to %v", row.Static, row.Dynamic)
+		}
+	}
+}
+
+func TestScenarioFlashCrowdSharedBottleneck(t *testing.T) {
+	res := ScenarioFlashCrowd(Options{N: 4, Seed: 5, Duration: 120 * time.Second})
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 strategies, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Sessions < 6 {
+			t.Fatalf("%s: only %d sessions", row.Strategy, row.Sessions)
+		}
+		if row.Aggregate <= 0 {
+			t.Fatalf("%s: no aggregate traffic", row.Strategy)
+		}
+		if row.EarlyMB <= 0 || row.LateMB <= 0 {
+			t.Fatalf("%s: early/late medians missing (%v / %v)", row.Strategy, row.EarlyMB, row.LateMB)
+		}
+		if row.Mix == "none" {
+			t.Fatalf("%s: no per-session classifications", row.Strategy)
+		}
+	}
+	// Eight 1.2 Mbps bulk transfers racing on 20 Mbps must induce loss.
+	ff := res.Rows[2]
+	if !strings.Contains(ff.Strategy, "Firefox") {
+		t.Fatalf("third row is %q, want Firefox (bulk)", ff.Strategy)
+	}
+	if ff.InducedLoss == 0 {
+		t.Fatalf("a bulk flash crowd induced no loss\n%s", res.Artifact.String())
+	}
+}

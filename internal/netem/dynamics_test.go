@@ -1,0 +1,215 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func TestBytesInFloorAndNegativeGuard(t *testing.T) {
+	if got := Bandwidth(1).BytesIn(time.Second); got != 0 {
+		t.Fatalf("1 bps over 1s = %d bytes, want 0 (floor of 0.125)", got)
+	}
+	if got := (8 * Mbps).BytesIn(-time.Second); got != 0 {
+		t.Fatalf("negative duration carried %d bytes, want 0", got)
+	}
+	if got := Bandwidth(-8e6).BytesIn(time.Second); got != 0 {
+		t.Fatalf("negative rate carried %d bytes, want 0", got)
+	}
+	// 999.999... bytes must floor to 999, never round up.
+	if got := Bandwidth(7999.992).BytesIn(time.Second); got != 999 {
+		t.Fatalf("fractional budget = %d bytes, want 999", got)
+	}
+}
+
+// TestBytesInTxTimeRoundTrip: the byte budget of a packet's own
+// serialization time must never exceed the packet (TxTime truncates to
+// whole nanoseconds, so the round trip may lose at most one byte).
+func TestBytesInTxTimeRoundTrip(t *testing.T) {
+	for _, b := range []Bandwidth{56 * Kbps, 3 * Mbps, 7.7 * Mbps, 100 * Mbps, Gbps} {
+		for _, n := range []int{1, 40, 999, 1000, 1460, 1 << 20} {
+			got := b.BytesIn(b.TxTime(n))
+			if got > n {
+				t.Fatalf("%v: BytesIn(TxTime(%d)) = %d, overshoots", b, n, got)
+			}
+			if n-got > 1 {
+				t.Fatalf("%v: BytesIn(TxTime(%d)) = %d, loses more than 1 byte", b, n, got)
+			}
+		}
+	}
+}
+
+func TestProfileUpLossRate(t *testing.T) {
+	p := Profile{Loss: 0.01}
+	if got := p.UpLossRate(); got != 0.001 {
+		t.Fatalf("default UpLossRate = %v, want Loss/10 = 0.001", got)
+	}
+	p.UpLoss = 0.05
+	if got := p.UpLossRate(); got != 0.05 {
+		t.Fatalf("explicit UpLossRate = %v, want 0.05", got)
+	}
+	p.UpLoss = -1
+	if got := p.UpLossRate(); got != 0 {
+		t.Fatalf("disabled UpLossRate = %v, want 0", got)
+	}
+}
+
+// TestRateStepRespectsInFlightSerialization pins the documented
+// semantics: a rate change between two sends leaves the first packet's
+// committed departure alone, and the second packet serializes at the
+// new rate starting from the committed backlog's completion.
+func TestRateStepRespectsInFlightSerialization(t *testing.T) {
+	sch := sim.NewScheduler(1)
+	c := &collector{sch: sch}
+	l := NewLink(sch, 8*Mbps, 0, 0, nil, c) // 1000B = 1ms at 8 Mbps
+	Dynamics{Steps: []Step{RateStep(500*time.Microsecond, 4*Mbps)}}.Apply(sch, l)
+	l.Send(seg(960))
+	sch.After(600*time.Microsecond, func() { l.Send(seg(960)) })
+	sch.Run()
+	if len(c.at) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(c.at))
+	}
+	if c.at[0] != time.Millisecond {
+		t.Fatalf("first packet at %v, want 1ms (old rate committed)", c.at[0])
+	}
+	// Second: queued behind busyUntil=1ms, then 2ms at 4 Mbps.
+	if c.at[1] != 3*time.Millisecond {
+		t.Fatalf("second packet at %v, want 3ms (new rate from backlog end)", c.at[1])
+	}
+}
+
+func TestDynamicsOutageBlocksAndRestores(t *testing.T) {
+	sch := sim.NewScheduler(1)
+	c := &collector{sch: sch}
+	l := NewLink(sch, 8*Mbps, 0, 0, nil, c)
+	Dynamics{Steps: []Step{OutageStep(10*time.Millisecond, 5*time.Millisecond)}}.Apply(sch, l)
+	// Before, during and after the outage window.
+	sch.After(9*time.Millisecond, func() { l.Send(seg(960)) })
+	sch.After(12*time.Millisecond, func() { l.Send(seg(960)) })
+	sch.After(16*time.Millisecond, func() { l.Send(seg(960)) })
+	sch.Run()
+	if len(c.at) != 2 {
+		t.Fatalf("delivered %d packets, want 2 (one dropped in outage)", len(c.at))
+	}
+	if l.OutageDrops != 1 || l.Dropped != 1 {
+		t.Fatalf("OutageDrops=%d Dropped=%d, want 1 and 1", l.OutageDrops, l.Dropped)
+	}
+}
+
+// TestOutageDeliversInFlight: a packet fully accepted before the cut
+// still arrives — the outage blocks entry, not propagation.
+func TestOutageDeliversInFlight(t *testing.T) {
+	sch := sim.NewScheduler(1)
+	c := &collector{sch: sch}
+	l := NewLink(sch, 8*Mbps, 20*time.Millisecond, 0, nil, c)
+	Dynamics{Steps: []Step{OutageStep(5*time.Millisecond, 30*time.Millisecond)}}.Apply(sch, l)
+	l.Send(seg(960)) // done 1ms, arrives 21ms — mid-outage
+	sch.Run()
+	if len(c.at) != 1 || c.at[0] != 21*time.Millisecond {
+		t.Fatalf("in-flight packet not delivered through outage: %v", c.at)
+	}
+}
+
+func TestDynamicsRampInterpolates(t *testing.T) {
+	sch := sim.NewScheduler(1)
+	l := NewLink(sch, 8*Mbps, 0, 0, nil, ReceiverFunc(func(*packet.Segment) {}))
+	Dynamics{Steps: []Step{RateRamp(10*time.Millisecond, 8*time.Millisecond, 16*Mbps)}}.Apply(sch, l)
+	var mid, end Bandwidth
+	sch.After(14*time.Millisecond+time.Microsecond, func() { mid = l.Rate() })
+	sch.After(18*time.Millisecond+time.Microsecond, func() { end = l.Rate() })
+	sch.Run()
+	// Halfway through the ramp (4 of 8 ticks) the rate is halfway.
+	if mid != 12*Mbps {
+		t.Fatalf("mid-ramp rate %v, want 12 Mbps", float64(mid))
+	}
+	if end != 16*Mbps {
+		t.Fatalf("post-ramp rate %v, want exactly the target 16 Mbps", float64(end))
+	}
+}
+
+// TestRampYieldsToLaterStep: a rate step landing inside a ramp window
+// must win — the ramp's remaining ticks are cancelled, not replayed
+// over the newer value.
+func TestRampYieldsToLaterStep(t *testing.T) {
+	sch := sim.NewScheduler(1)
+	l := NewLink(sch, 8*Mbps, 0, 0, nil, ReceiverFunc(func(*packet.Segment) {}))
+	Dynamics{Steps: []Step{
+		RateRamp(10*time.Millisecond, 8*time.Millisecond, 16*Mbps),
+		RateStep(13*time.Millisecond, 2*Mbps), // mid-ramp
+	}}.Apply(sch, l)
+	sch.Run()
+	if l.Rate() != 2*Mbps {
+		t.Fatalf("final rate %v, want 2 Mbps (later step must cancel the ramp)", float64(l.Rate()))
+	}
+}
+
+func TestDynamicsDelayAndLossSteps(t *testing.T) {
+	sch := sim.NewScheduler(1)
+	c := &collector{sch: sch}
+	l := NewLink(sch, Gbps, 10*time.Millisecond, 0, nil, c)
+	Dynamics{Steps: []Step{
+		DelayStep(5*time.Millisecond, 50*time.Millisecond),
+		LossStep(20*time.Millisecond, 1.0),
+	}}.Apply(sch, l)
+	l.Send(seg(100))                                            // old delay: ~10ms
+	sch.After(6*time.Millisecond, func() { l.Send(seg(100)) })  // new delay: ~56ms
+	sch.After(21*time.Millisecond, func() { l.Send(seg(100)) }) // loss=1: dropped
+	sch.Run()
+	if len(c.at) != 2 {
+		t.Fatalf("delivered %d, want 2 (third lost)", len(c.at))
+	}
+	if c.at[0] < 10*time.Millisecond || c.at[0] > 11*time.Millisecond {
+		t.Fatalf("first arrival %v, want ~10ms", c.at[0])
+	}
+	if c.at[1] < 56*time.Millisecond || c.at[1] > 57*time.Millisecond {
+		t.Fatalf("second arrival %v, want ~56ms", c.at[1])
+	}
+	if l.Dropped != 1 {
+		t.Fatalf("Dropped=%d, want 1", l.Dropped)
+	}
+}
+
+// TestDynamicsApplySortsSteps: spec authors may list steps in any
+// order; the realized timeline is time-sorted.
+func TestDynamicsApplySortsSteps(t *testing.T) {
+	sch := sim.NewScheduler(1)
+	l := NewLink(sch, 8*Mbps, 0, 0, nil, ReceiverFunc(func(*packet.Segment) {}))
+	Dynamics{Steps: []Step{
+		RateStep(20*time.Millisecond, 2*Mbps),
+		RateStep(10*time.Millisecond, 4*Mbps),
+	}}.Apply(sch, l)
+	var at15 Bandwidth
+	sch.After(15*time.Millisecond, func() { at15 = l.Rate() })
+	sch.Run()
+	if at15 != 4*Mbps {
+		t.Fatalf("rate at 15ms = %v, want 4 Mbps (earlier step must fire first)", float64(at15))
+	}
+	if l.Rate() != 2*Mbps {
+		t.Fatalf("final rate %v, want 2 Mbps", float64(l.Rate()))
+	}
+}
+
+func TestDynamicsValidate(t *testing.T) {
+	bad := []Dynamics{
+		{Steps: []Step{{At: -time.Second}}},
+		{Steps: []Step{{At: 0, Ramp: -1}}},
+		{Steps: []Step{{At: 0, SetRate: true, Rate: -1}}},
+		// Rate 0 would be an infinitely fast link, not a dead one.
+		{Steps: []Step{RateStep(time.Second, 0)}},
+		{Steps: []Step{{At: 0, SetDelay: true, Delay: -1}}},
+	}
+	for i, d := range bad {
+		if d.Validate() == nil {
+			t.Fatalf("case %d: invalid timeline passed Validate", i)
+		}
+	}
+	ok := Dynamics{}.Then(RateStep(time.Second, Mbps), OutageStep(2*time.Second, time.Second))
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid timeline rejected: %v", err)
+	}
+	if len(ok.Steps) != 2 || ok.Empty() {
+		t.Fatalf("Then composed %d steps", len(ok.Steps))
+	}
+}

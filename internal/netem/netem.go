@@ -7,6 +7,7 @@
 package netem
 
 import (
+	"math"
 	"math/rand"
 	"time"
 
@@ -31,9 +32,14 @@ func (b Bandwidth) TxTime(n int) time.Duration {
 	return time.Duration(float64(n) * 8 / float64(b) * float64(time.Second))
 }
 
-// BytesIn returns how many bytes the link can carry in d.
+// BytesIn returns how many bytes the link can carry in d, rounded
+// down to whole bytes. Non-positive durations (and non-positive
+// rates) carry nothing.
 func (b Bandwidth) BytesIn(d time.Duration) int {
-	return int(float64(b) / 8 * d.Seconds())
+	if b <= 0 || d <= 0 {
+		return 0
+	}
+	return int(math.Floor(float64(b) / 8 * d.Seconds()))
 }
 
 // Receiver consumes packets delivered by a link.
@@ -111,6 +117,7 @@ type Link struct {
 	queued    int // bytes accepted but not yet fully serialized
 	busyUntil time.Duration
 	loss      LossModel
+	blocked   bool
 	dst       Receiver
 	taps      []Tap
 	pool      []*delivery
@@ -119,6 +126,9 @@ type Link struct {
 	Sent    int
 	Dropped int
 	Bytes   int64
+	// OutageDrops counts packets dropped because the link was blocked
+	// by an outage (a subset of Dropped).
+	OutageDrops int
 }
 
 // delivery is the per-packet event state: one pooled struct carries a
@@ -172,13 +182,46 @@ func NewLink(sch *sim.Scheduler, rate Bandwidth, delay time.Duration, queueBytes
 // AddTap registers a capture tap on the link.
 func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
 
-// SetLoss replaces the loss model (used by failure-injection tests).
+// SetLoss replaces the loss model (used by failure-injection tests and
+// Dynamics timelines).
 func (l *Link) SetLoss(m LossModel) {
 	if m == nil {
 		m = NoLoss{}
 	}
 	l.loss = m
 }
+
+// Loss returns the current loss model.
+func (l *Link) Loss() LossModel { return l.loss }
+
+// Rate returns the current link rate.
+func (l *Link) Rate() Bandwidth { return l.rate }
+
+// SetRate changes the link rate. The change applies to packets
+// accepted (Send) after the call: bytes already accepted keep the
+// departure times they were committed to at entry, and a later packet
+// starts serialization no earlier than that committed backlog's
+// completion (busyUntil). This keeps the link's FIFO invariant intact
+// across arbitrary rate timelines.
+func (l *Link) SetRate(r Bandwidth) { l.rate = r }
+
+// Delay returns the current propagation delay.
+func (l *Link) Delay() time.Duration { return l.delay }
+
+// SetDelay changes the propagation delay for packets sent after the
+// call. A decrease can reorder in-flight packets relative to later
+// ones — exactly what a route change does on a real path; TCP absorbs
+// it as any other reordering.
+func (l *Link) SetDelay(d time.Duration) { l.delay = d }
+
+// SetBlocked starts or ends an outage: a blocked link drops every
+// packet at entry (counted in Dropped and OutageDrops). In-flight
+// packets already serialized are still delivered, matching a cut that
+// happens behind the propagation segment.
+func (l *Link) SetBlocked(blocked bool) { l.blocked = blocked }
+
+// Blocked reports whether the link is in an outage.
+func (l *Link) Blocked() bool { return l.blocked }
 
 // QueueDepth returns the bytes currently enqueued or in serialization.
 func (l *Link) QueueDepth() int { return l.queued }
@@ -187,6 +230,11 @@ func (l *Link) QueueDepth() int { return l.queued }
 // as a real network would.
 func (l *Link) Send(seg *packet.Segment) {
 	size := seg.WireLen()
+	if l.blocked {
+		l.Dropped++
+		l.OutageDrops++
+		return
+	}
 	if l.loss.Drop(l.sch.Rand()) {
 		l.Dropped++
 		return
@@ -234,6 +282,23 @@ type Profile struct {
 	RTT      time.Duration
 	Loss     float64
 	Queue    int // bytes of bottleneck buffering per direction
+	// UpLoss is the upstream (ACK-direction) loss rate. Zero keeps the
+	// historical default of Loss/10 — ACK loss was not a reported
+	// artefact in the paper — and a negative value disables upstream
+	// loss entirely, so scenario specs can model asymmetric paths.
+	UpLoss float64
+}
+
+// UpLossRate resolves the effective upstream loss rate.
+func (p Profile) UpLossRate() float64 {
+	switch {
+	case p.UpLoss < 0:
+		return 0
+	case p.UpLoss > 0:
+		return p.UpLoss
+	default:
+		return p.Loss / 10
+	}
 }
 
 // The four vantage networks of Section 4.2.
@@ -264,12 +329,12 @@ func ProfileByName(name string) (Profile, bool) {
 
 // NewPath wires a duplex path with the profile's characteristics.
 // Propagation delay is split evenly per direction; loss applies to the
-// downstream (data) direction and one tenth of it upstream, since ACK
-// loss was not a reported artefact.
+// downstream (data) direction and UpLossRate (default Loss/10)
+// upstream, since ACK loss was not a reported artefact.
 func NewPath(sch *sim.Scheduler, p Profile, client, server Receiver) *Path {
 	half := p.RTT / 2
 	return &Path{
 		Down: NewLink(sch, p.Down, half, p.Queue, RandomLoss{Rate: p.Loss}, client),
-		Up:   NewLink(sch, p.Up, half, p.Queue, RandomLoss{Rate: p.Loss / 10}, server),
+		Up:   NewLink(sch, p.Up, half, p.Queue, RandomLoss{Rate: p.UpLossRate()}, server),
 	}
 }

@@ -52,7 +52,7 @@ func NewDumbbell(sch *sim.Scheduler, p Profile, server Receiver) *Dumbbell {
 	return &Dumbbell{
 		sw:   sw,
 		Down: NewLink(sch, p.Down, half, p.Queue, RandomLoss{Rate: p.Loss}, sw),
-		Up:   NewLink(sch, p.Up, half, p.Queue, RandomLoss{Rate: p.Loss / 10}, server),
+		Up:   NewLink(sch, p.Up, half, p.Queue, RandomLoss{Rate: p.UpLossRate()}, server),
 	}
 }
 

@@ -107,3 +107,46 @@ func TestFigure2ArtifactByteIdentical(t *testing.T) {
 		t.Fatalf("Figure2 artifact differs between Workers=1 and Workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
 	}
 }
+
+// TestScenarioRateDropArtifactByteIdentical extends the worker-count
+// invariant to the dynamics scenarios: timelines fire through the same
+// per-session schedulers, so the artifact must not depend on the pool.
+func TestScenarioRateDropArtifactByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	seq := experiments.ScenarioRateDrop(testOpts(1)).Artifact.String()
+	par := experiments.ScenarioRateDrop(testOpts(8)).Artifact.String()
+	if seq != par {
+		t.Fatalf("ScenarioRateDrop artifact differs between Workers=1 and Workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestScenarioFlashCrowdArtifactByteIdentical covers the
+// shared-bottleneck (netem.Dumbbell) path: each strategy is one
+// single-threaded simulation, fanned out per strategy, so the crowd
+// artifact must also be pool-size independent.
+func TestScenarioFlashCrowdArtifactByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	seq := experiments.ScenarioFlashCrowd(testOpts(1)).Artifact.String()
+	par := experiments.ScenarioFlashCrowd(testOpts(8)).Artifact.String()
+	if seq != par {
+		t.Fatalf("ScenarioFlashCrowd artifact differs between Workers=1 and Workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestAggregateLossArtifactByteIdentical closes the Dumbbell coverage
+// gap: before this PR only flat-link experiments were diffed across
+// worker counts.
+func TestAggregateLossArtifactByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	seq := experiments.AggregateLoss(testOpts(1)).Artifact.String()
+	par := experiments.AggregateLoss(testOpts(8)).Artifact.String()
+	if seq != par {
+		t.Fatalf("AggregateLoss artifact differs between Workers=1 and Workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}

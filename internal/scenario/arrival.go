@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ArrivalKind selects the arrival process for a scenario's sessions.
+type ArrivalKind int
+
+// The four processes. AllAtOnce is the degenerate paper setup (one
+// measurement at a time starts immediately); the others open the
+// time-varying workloads the paper could not capture.
+const (
+	// AllAtOnce starts every session at t=0.
+	AllAtOnce ArrivalKind = iota
+	// Staggered spreads starts uniformly at random over Window.
+	Staggered
+	// Poisson draws exponential inter-arrival times at Rate per
+	// second, truncated to Window (a session that would arrive after
+	// the window joins at its end).
+	Poisson
+	// FlashCrowd packs every arrival into the first Burst fraction of
+	// Window (default 10%): the sudden-audience workload.
+	FlashCrowd
+)
+
+func (k ArrivalKind) String() string {
+	switch k {
+	case AllAtOnce:
+		return "all-at-once"
+	case Staggered:
+		return "staggered"
+	case Poisson:
+		return "poisson"
+	case FlashCrowd:
+		return "flash-crowd"
+	default:
+		return "unknown"
+	}
+}
+
+// Arrival is a declarative arrival process.
+type Arrival struct {
+	Kind   ArrivalKind
+	Window time.Duration // span arrivals land in; 0 means 60 s
+	Rate   float64       // Poisson arrivals per second; 0 means n/Window
+	Burst  float64       // FlashCrowd: leading fraction of Window; 0 means 0.1
+}
+
+// Times returns n sorted start offsets drawn from the process using
+// rng. The draw order is fixed, so a given (process, seed) pair always
+// produces the same schedule — scenario determinism hangs off this.
+func (a Arrival) Times(n int, rng *rand.Rand) []time.Duration {
+	if n <= 0 {
+		return nil
+	}
+	window := a.Window
+	if window <= 0 {
+		window = 60 * time.Second
+	}
+	out := make([]time.Duration, n)
+	switch a.Kind {
+	case Staggered:
+		for i := range out {
+			out[i] = time.Duration(rng.Int63n(int64(window)))
+		}
+	case Poisson:
+		rate := a.Rate
+		if rate <= 0 {
+			rate = float64(n) / window.Seconds()
+		}
+		at := 0.0
+		for i := range out {
+			at += rng.ExpFloat64() / rate
+			d := time.Duration(at * float64(time.Second))
+			if d > window {
+				d = window
+			}
+			out[i] = d
+		}
+	case FlashCrowd:
+		burst := a.Burst
+		if burst <= 0 {
+			burst = 0.1
+		}
+		span := time.Duration(math.Min(burst, 1) * float64(window))
+		if span <= 0 {
+			span = 1
+		}
+		for i := range out {
+			out[i] = time.Duration(rng.Int63n(int64(span)))
+		}
+	default: // AllAtOnce: zeros
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// ParseDynamics turns a compact textual timeline into a
+// netem.Dynamics. Events are separated by ';' and each takes one of
+// the forms
+//
+//	rate@30s=2Mbps        step the rate at t=30s
+//	rate@30s+10s=2Mbps    ramp linearly to 2 Mbps over [30s, 40s]
+//	delay@60s=200ms       step the propagation delay
+//	loss@45s=0.02         step to independent random loss
+//	outage@90s=5s         block the link over [90s, 95s)
+//
+// This is the cmd/vscenario spec syntax; scenario code composes
+// netem.Dynamics values directly.
+func ParseDynamics(spec string) (netem.Dynamics, error) {
+	var d netem.Dynamics
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return d, nil
+	}
+	for _, ev := range strings.Split(spec, ";") {
+		ev = strings.TrimSpace(ev)
+		if ev == "" {
+			continue
+		}
+		kindAndTime, value, ok := strings.Cut(ev, "=")
+		if !ok {
+			return d, fmt.Errorf("dynamics event %q: missing '='", ev)
+		}
+		kind, timeSpec, ok := strings.Cut(kindAndTime, "@")
+		if !ok {
+			return d, fmt.Errorf("dynamics event %q: missing '@<time>'", ev)
+		}
+		kind = strings.ToLower(strings.TrimSpace(kind))
+		atSpec, rampSpec, hasRamp := strings.Cut(timeSpec, "+")
+		at, err := time.ParseDuration(strings.TrimSpace(atSpec))
+		if err != nil {
+			return d, fmt.Errorf("dynamics event %q: bad time: %v", ev, err)
+		}
+		var ramp time.Duration
+		if hasRamp {
+			if kind != "rate" {
+				return d, fmt.Errorf("dynamics event %q: only rate supports ramps", ev)
+			}
+			ramp, err = time.ParseDuration(strings.TrimSpace(rampSpec))
+			if err != nil {
+				return d, fmt.Errorf("dynamics event %q: bad ramp: %v", ev, err)
+			}
+		}
+		value = strings.TrimSpace(value)
+		switch kind {
+		case "rate":
+			r, err := ParseBandwidth(value)
+			if err != nil {
+				return d, fmt.Errorf("dynamics event %q: %v", ev, err)
+			}
+			if hasRamp {
+				d = d.Then(netem.RateRamp(at, ramp, r))
+			} else {
+				d = d.Then(netem.RateStep(at, r))
+			}
+		case "delay":
+			dl, err := time.ParseDuration(value)
+			if err != nil {
+				return d, fmt.Errorf("dynamics event %q: bad delay: %v", ev, err)
+			}
+			d = d.Then(netem.DelayStep(at, dl))
+		case "loss":
+			p, err := strconv.ParseFloat(value, 64)
+			if err != nil || p < 0 || p > 1 {
+				return d, fmt.Errorf("dynamics event %q: loss must be a probability in [0,1]", ev)
+			}
+			d = d.Then(netem.LossStep(at, p))
+		case "outage":
+			dur, err := time.ParseDuration(value)
+			if err != nil || dur <= 0 {
+				return d, fmt.Errorf("dynamics event %q: bad outage duration", ev)
+			}
+			d = d.Then(netem.OutageStep(at, dur))
+		default:
+			return d, fmt.Errorf("dynamics event %q: unknown kind %q (rate|delay|loss|outage)", ev, kind)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return netem.Dynamics{}, err
+	}
+	return d, nil
+}
+
+// ParseBandwidth parses "2Mbps", "750kbps", "1.5Gbps" or a bare
+// bits-per-second number.
+func ParseBandwidth(s string) (netem.Bandwidth, error) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(ls, "kbps"):
+		mult, ls = 1e3, strings.TrimSuffix(ls, "kbps")
+	case strings.HasSuffix(ls, "mbps"):
+		mult, ls = 1e6, strings.TrimSuffix(ls, "mbps")
+	case strings.HasSuffix(ls, "gbps"):
+		mult, ls = 1e9, strings.TrimSuffix(ls, "gbps")
+	case strings.HasSuffix(ls, "bps"):
+		ls = strings.TrimSuffix(ls, "bps")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(ls), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad bandwidth %q", s)
+	}
+	return netem.Bandwidth(v * mult), nil
+}

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/media"
+	"repro/internal/player"
+	"repro/internal/session"
+)
+
+// PlayerKind names a client application from Table 1. Scenario specs
+// carry kinds rather than player.Player values because players are
+// stateful single-use objects: every expanded session needs a fresh
+// instance, which New provides.
+type PlayerKind int
+
+// The nine clients of the paper (six YouTube, three Netflix).
+const (
+	Flash PlayerKind = iota
+	IEHtml5
+	FirefoxHtml5
+	ChromeHtml5
+	AndroidYouTube
+	IPadYouTube
+	SilverlightPC
+	NetflixIPad
+	NetflixAndroid
+)
+
+// playerTable maps kinds to their metadata and factories.
+var playerTable = []struct {
+	kind    PlayerKind
+	name    string
+	service session.ServiceKind
+	mk      func() player.Player
+}{
+	{Flash, "flash", session.YouTube, func() player.Player { return player.NewFlashPlayer("Internet Explorer") }},
+	{IEHtml5, "ie", session.YouTube, func() player.Player { return player.NewIEHtml5() }},
+	{FirefoxHtml5, "firefox", session.YouTube, func() player.Player { return player.NewFirefoxHtml5() }},
+	{ChromeHtml5, "chrome", session.YouTube, func() player.Player { return player.NewChromeHtml5() }},
+	{AndroidYouTube, "android-yt", session.YouTube, func() player.Player { return player.NewAndroidYouTube() }},
+	{IPadYouTube, "ipad-yt", session.YouTube, func() player.Player { return player.NewIPadYouTube() }},
+	{SilverlightPC, "silverlight", session.Netflix, func() player.Player { return player.NewSilverlightPC("Internet Explorer") }},
+	{NetflixIPad, "netflix-ipad", session.Netflix, func() player.Player { return player.NewNetflixIPad() }},
+	{NetflixAndroid, "netflix-android", session.Netflix, func() player.Player { return player.NewNetflixAndroid() }},
+}
+
+// New returns a fresh player instance of this kind.
+func (k PlayerKind) New() player.Player {
+	return playerTable[k].mk()
+}
+
+// Service returns the service the client talks to.
+func (k PlayerKind) Service() session.ServiceKind {
+	return playerTable[k].service
+}
+
+// NativeContainer returns the container this client streams in: FLV
+// for the Flash plugin, MP4 fragments for the Netflix clients, WebM
+// for every HTML5/native YouTube player. Specs and experiments share
+// this single mapping.
+func (k PlayerKind) NativeContainer() media.Container {
+	switch k {
+	case Flash:
+		return media.Flash
+	case SilverlightPC, NetflixIPad, NetflixAndroid:
+		return media.Silverlight
+	default:
+		return media.HTML5
+	}
+}
+
+// String returns the spec-level name (also accepted by PlayerKindByName).
+func (k PlayerKind) String() string {
+	if int(k) < 0 || int(k) >= len(playerTable) {
+		return fmt.Sprintf("PlayerKind(%d)", int(k))
+	}
+	return playerTable[k].name
+}
+
+// PlayerKinds lists every kind in Table 1 order.
+func PlayerKinds() []PlayerKind {
+	out := make([]PlayerKind, len(playerTable))
+	for i, e := range playerTable {
+		out[i] = e.kind
+	}
+	return out
+}
+
+// PlayerKindByName resolves a spec-level name (case-insensitive).
+func PlayerKindByName(name string) (PlayerKind, bool) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	for _, e := range playerTable {
+		if e.name == name {
+			return e.kind, true
+		}
+	}
+	return 0, false
+}

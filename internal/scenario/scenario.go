@@ -1,0 +1,305 @@
+// Package scenario is the declarative layer over the emulation stack:
+// a Spec composes a vantage profile, a client application, a video, an
+// arrival process and per-direction dynamics timelines into runnable
+// batches. The paper measured one frozen network per capture; specs
+// reach the time-varying workloads its access networks actually had —
+// mid-session rate drops, bursty-loss episodes, outages, and flash
+// crowds of sessions competing on one bottleneck.
+//
+// A spec runs in one of two shapes:
+//
+//   - Isolated: every session gets its own path (the paper's one
+//     player per vantage methodology), expanded into seeded
+//     session.Configs and fanned out on the runner pool.
+//   - Shared: all sessions join one netem.Dumbbell bottleneck in a
+//     single deterministic simulation, with per-client captures taken
+//     by address-filtering taps on the shared links.
+//
+// Both shapes are bit-reproducible for any worker count: isolated
+// batches carry per-session seeds and are consumed in submission
+// order; a shared run is one single-threaded simulation.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/player"
+	"repro/internal/runner"
+	"repro/internal/service"
+	"repro/internal/session"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// Spec declares one scenario. The zero value of every optional field
+// picks a sensible default (see withDefaults).
+type Spec struct {
+	Name    string
+	Profile netem.Profile // base network; zero Name → netem.Research
+	Player  PlayerKind
+	// Video is the content template. Sessions stream copies with
+	// consecutive IDs so a shared service can route every request. A
+	// zero EncodingRate selects a 1.75 Mbps 360p default in the
+	// player's native container.
+	Video    media.Video
+	Sessions int     // session count; 0 → 1
+	Arrival  Arrival // start-time process for the sessions
+	// Duration is the absolute capture horizon; 0 → 180 s.
+	Duration time.Duration
+	Seed     int64
+	// Down and Up are dynamics timelines for the respective direction
+	// (per-path in isolated runs, on the shared bottleneck links in
+	// shared runs).
+	Down, Up netem.Dynamics
+	// ServerTCP overrides the server's TCP configuration.
+	ServerTCP tcp.Config
+}
+
+// Service returns the service the spec's player talks to. A player
+// implies its service — Silverlight cannot stream from YouTube — so
+// specs never carry a contradictory pair.
+func (s Spec) Service() session.ServiceKind { return s.Player.Service() }
+
+func (s Spec) withDefaults() Spec {
+	if s.Profile.Name == "" {
+		s.Profile = netem.Research
+	}
+	if s.Sessions <= 0 {
+		s.Sessions = 1
+	}
+	if s.Duration <= 0 {
+		s.Duration = session.DefaultDuration
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Video.EncodingRate == 0 {
+		s.Video = media.Video{
+			EncodingRate: 1.75e6,
+			Duration:     420 * time.Second,
+			Container:    s.Player.NativeContainer(),
+			Resolution:   "360p",
+		}
+	}
+	if s.Video.ID == 0 {
+		s.Video.ID = 9000
+	}
+	if s.Video.Duration <= 0 {
+		s.Video.Duration = 420 * time.Second
+	}
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("%s/%s x%d", s.Profile.Name, s.Player, s.Sessions)
+	}
+	return s
+}
+
+// Validate rejects specs that cannot run.
+func (s Spec) Validate() error {
+	if s.Sessions < 0 {
+		return fmt.Errorf("scenario %q: negative session count", s.Name)
+	}
+	if err := s.Down.Validate(); err != nil {
+		return fmt.Errorf("scenario %q down: %w", s.Name, err)
+	}
+	if err := s.Up.Validate(); err != nil {
+		return fmt.Errorf("scenario %q up: %w", s.Name, err)
+	}
+	return nil
+}
+
+// video returns the i-th session's content: the template with a
+// consecutive ID so every session is individually routable/servable.
+func (s Spec) video(i int) media.Video {
+	v := s.Video
+	v.ID += i
+	return v
+}
+
+// Configs expands the spec into independent-path session configs:
+// one network per session (the paper's methodology), arrival offsets
+// as StartAt, a derived seed per session, and the spec's dynamics on
+// every path. The expansion itself is deterministic in Spec.Seed.
+func (s Spec) Configs() []session.Config {
+	s = s.withDefaults()
+	rng := rand.New(rand.NewSource(s.Seed))
+	starts := s.Arrival.Times(s.Sessions, rng)
+	cfgs := make([]session.Config, s.Sessions)
+	for i := range cfgs {
+		cfgs[i] = session.Config{
+			Video:        s.video(i),
+			Service:      s.Service(),
+			Player:       s.Player.New(),
+			Network:      s.Profile,
+			Duration:     s.Duration,
+			StartAt:      starts[i],
+			Seed:         rng.Int63(),
+			ServerTCP:    s.ServerTCP,
+			DownDynamics: s.Down,
+			UpDynamics:   s.Up,
+		}
+	}
+	return cfgs
+}
+
+// RunIsolated executes the expanded configs on a worker pool,
+// returning results in submission order (bit-identical for any worker
+// count).
+func RunIsolated(o runner.Options, s Spec) []*session.Result {
+	return runner.Sessions(o, s.Configs())
+}
+
+// Outcome is one session's result inside a shared-bottleneck run.
+type Outcome struct {
+	Index      int
+	Start      time.Duration
+	Downloaded int64
+	Trace      *trace.Trace
+	Analysis   *analysis.Result
+}
+
+// SharedResult is everything a shared-bottleneck run produced.
+type SharedResult struct {
+	Spec     Spec
+	Outcomes []Outcome
+	// Bottleneck accounting (shared downstream link).
+	Offered     int
+	Dropped     int
+	InducedLoss float64
+	OutageDrops int
+	Unrouted    int
+	// AggregateMbps is the mean downstream rate over the horizon.
+	AggregateMbps float64
+}
+
+// dispatchTap splits a shared link's packets into per-client captures
+// by address in O(1) per packet (one map lookup, not a scan over N
+// per-client filters), so each session's trace looks exactly like
+// tcpdump on that client.
+type dispatchTap struct {
+	down   bool // key on Dst (downstream) instead of Src (upstream)
+	byAddr map[[4]byte]netem.Tap
+}
+
+// Capture implements netem.Tap.
+func (t *dispatchTap) Capture(at time.Duration, seg *packet.Segment) {
+	a := seg.Src.Addr
+	if t.down {
+		a = seg.Dst.Addr
+	}
+	if inner, ok := t.byAddr[a]; ok {
+		inner.Capture(at, seg)
+	}
+}
+
+// clientAddr numbers shared-run clients from 10.0.0.1 upward.
+func clientAddr(i int) [4]byte {
+	return [4]byte{10, 0, byte((i + 1) >> 8), byte(i + 1)}
+}
+
+// RunShared executes every session of the spec on one shared
+// netem.Dumbbell bottleneck in a single deterministic simulation:
+// sessions join at their arrival offsets and compete for the same
+// drop-tail queue while the spec's dynamics play out on the shared
+// links. Each client's trace is captured and analyzed individually.
+func RunShared(s Spec) *SharedResult {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		panic("scenario: " + err.Error())
+	}
+	sch := sim.NewScheduler(s.Seed)
+	server := tcp.NewHost(sch, session.ServerAddr[0], session.ServerAddr[1], session.ServerAddr[2], session.ServerAddr[3])
+	db := netem.NewDumbbell(sch, s.Profile, server)
+	server.SetLink(db.Down)
+	s.Down.Apply(sch, db.Down)
+	s.Up.Apply(sch, db.Up)
+
+	vids := make([]media.Video, s.Sessions)
+	for i := range vids {
+		vids[i] = s.video(i)
+	}
+	switch s.Service() {
+	case session.YouTube:
+		service.NewYouTube(server, s.ServerTCP, vids)
+	case session.Netflix:
+		service.NewNetflix(server, s.ServerTCP, vids)
+	}
+
+	starts := s.Arrival.Times(s.Sessions, sch.Rand())
+	res := &SharedResult{Spec: s, Outcomes: make([]Outcome, s.Sessions)}
+	players := make([]player.Player, s.Sessions)
+	downTap := &dispatchTap{down: true, byAddr: make(map[[4]byte]netem.Tap, s.Sessions)}
+	upTap := &dispatchTap{byAddr: make(map[[4]byte]netem.Tap, s.Sessions)}
+	db.Down.AddTap(downTap)
+	db.Up.AddTap(upTap)
+	for i := 0; i < s.Sessions; i++ {
+		i := i
+		addr := clientAddr(i)
+		client := tcp.NewHost(sch, addr[0], addr[1], addr[2], addr[3])
+		client.SetLink(db.Attach(addr, client))
+		tr := &trace.Trace{}
+		downTap.byAddr[addr] = tr.Tap(trace.Down)
+		upTap.byAddr[addr] = tr.Tap(trace.Up)
+		res.Outcomes[i] = Outcome{Index: i, Start: starts[i], Trace: tr}
+		env := &player.Env{Sch: sch, Host: client, Server: packet.Endpoint{Addr: session.ServerAddr, Port: 80}}
+		p := s.Player.New()
+		players[i] = p
+		start := func() { p.Start(env, vids[i]) }
+		if starts[i] > 0 {
+			sch.At(starts[i], start)
+		} else {
+			start()
+		}
+	}
+	sch.RunUntil(s.Duration)
+
+	var aggregate int64
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		o.Downloaded = players[i].Downloaded()
+		o.Analysis = analysis.Analyze(o.Trace, analysis.Config{
+			KnownDuration: vids[i].Duration,
+			KnownRate:     vids[i].EncodingRate,
+		})
+		aggregate += o.Trace.DownBytes()
+	}
+	res.Offered = db.Down.Sent + db.Down.Dropped
+	res.Dropped = db.Down.Dropped
+	res.OutageDrops = db.Down.OutageDrops
+	if res.Offered > 0 {
+		res.InducedLoss = float64(res.Dropped) / float64(res.Offered)
+	}
+	res.Unrouted = db.Unrouted()
+	if s.Duration > 0 {
+		res.AggregateMbps = float64(aggregate) * 8 / s.Duration.Seconds() / 1e6
+	}
+	return res
+}
+
+// StrategyMix counts classified strategies across the outcomes,
+// rendered in a stable order.
+func (r *SharedResult) StrategyMix() string {
+	counts := map[analysis.Strategy]int{}
+	for _, o := range r.Outcomes {
+		counts[o.Analysis.Strategy]++
+	}
+	out := ""
+	for _, st := range []analysis.Strategy{analysis.NoOnOff, analysis.ShortOnOff, analysis.LongOnOff, analysis.MultipleOnOff, analysis.StrategyUnknown} {
+		if n := counts[st]; n > 0 {
+			if out != "" {
+				out += ", "
+			}
+			out += fmt.Sprintf("%dx %s", n, st)
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}

@@ -45,12 +45,24 @@ type Config struct {
 	Player  player.Player
 	Network netem.Profile
 	// Duration bounds the capture; 0 means DefaultDuration (180 s).
+	// It is an absolute horizon: a session with StartAt > 0 streams
+	// for Duration - StartAt before the capture stops.
 	Duration time.Duration
+	// StartAt delays the player start — the arrival offset used by
+	// scenario batches where sessions join over time. The capture
+	// still begins at t=0, like tcpdump started before the player.
+	StartAt time.Duration
 	// Seed makes the run reproducible.
 	Seed int64
 	// ServerTCP overrides the server-side TCP configuration (the
 	// IdleReset ablation flips a field here).
 	ServerTCP tcp.Config
+	// DownDynamics and UpDynamics schedule mid-session network changes
+	// (rate steps/ramps, delay and loss changes, outages) on the
+	// respective link. Empty timelines leave the link frozen, which is
+	// the historical behaviour.
+	DownDynamics netem.Dynamics
+	UpDynamics   netem.Dynamics
 }
 
 // Result carries everything a measurement produced.
@@ -80,6 +92,8 @@ func Run(cfg Config) *Result {
 	path := netem.NewPath(sch, cfg.Network, client, server)
 	client.SetLink(path.Up)
 	server.SetLink(path.Down)
+	cfg.DownDynamics.Apply(sch, path.Down)
+	cfg.UpDynamics.Apply(sch, path.Up)
 
 	// tcpdump at the client vantage point.
 	tr := &trace.Trace{}
@@ -94,7 +108,11 @@ func Run(cfg Config) *Result {
 	}
 
 	env := &player.Env{Sch: sch, Host: client, Server: packet.Endpoint{Addr: ServerAddr, Port: 80}}
-	cfg.Player.Start(env, cfg.Video)
+	if cfg.StartAt > 0 {
+		sch.At(cfg.StartAt, func() { cfg.Player.Start(env, cfg.Video) })
+	} else {
+		cfg.Player.Start(env, cfg.Video)
+	}
 	sch.RunUntil(cfg.Duration)
 
 	res := &Result{

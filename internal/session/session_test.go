@@ -297,6 +297,55 @@ func TestLossyNetworkStillClassifies(t *testing.T) {
 	}
 }
 
+// TestStartAtDelaysPlayer: the capture starts at t=0 but the player
+// joins at StartAt, so the first record cannot predate the arrival and
+// the download is bounded by the remaining horizon.
+func TestStartAtDelaysPlayer(t *testing.T) {
+	base := Run(Config{
+		Video: flashVideo(), Service: YouTube,
+		Player: player.NewFlashPlayer("x"), Network: netem.Research, Seed: 5,
+		Duration: 60 * time.Second,
+	})
+	late := Run(Config{
+		Video: flashVideo(), Service: YouTube,
+		Player: player.NewFlashPlayer("x"), Network: netem.Research, Seed: 5,
+		Duration: 60 * time.Second, StartAt: 30 * time.Second,
+	})
+	if late.Trace.Len() == 0 {
+		t.Fatal("delayed session captured nothing")
+	}
+	if first := late.Trace.Records[0].TS; first < 30*time.Second {
+		t.Fatalf("first packet at %v, before the 30s arrival", first)
+	}
+	if late.Downloaded >= base.Downloaded {
+		t.Fatalf("30s-late session downloaded %d >= full session's %d", late.Downloaded, base.Downloaded)
+	}
+}
+
+// TestDynamicsReachSession: a session-level outage must show up in the
+// trace as a silent window on an otherwise continuously busy transfer.
+func TestDynamicsReachSession(t *testing.T) {
+	cfg := Config{
+		Video: hdVideo(), Service: YouTube,
+		Player: player.NewFlashPlayer("x"), Network: netem.Research, Seed: 9,
+		Duration: 60 * time.Second,
+	}
+	cfg.DownDynamics = netem.Dynamics{}.Then(netem.OutageStep(20*time.Second, 5*time.Second))
+	r := Run(cfg)
+	var inWindow int
+	for _, rec := range r.Trace.Records {
+		if rec.Dir == trace.Down && rec.TS > 21*time.Second && rec.TS < 24*time.Second {
+			inWindow++
+		}
+	}
+	if inWindow != 0 {
+		t.Fatalf("%d downstream packets captured inside the outage window", inWindow)
+	}
+	if r.Downloaded == 0 {
+		t.Fatal("transfer must resume after the outage")
+	}
+}
+
 func TestServiceKindString(t *testing.T) {
 	if YouTube.String() != "YouTube" || Netflix.String() != "Netflix" {
 		t.Fatal("kind strings")

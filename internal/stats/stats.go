@@ -30,11 +30,10 @@ func (c *CDF) At(x float64) float64 {
 	if len(c.sorted) == 0 {
 		return 0
 	}
-	i := sort.SearchFloat64s(c.sorted, x)
-	// Move past equal elements (SearchFloat64s returns the first).
-	for i < len(c.sorted) && c.sorted[i] <= x {
-		i++
-	}
+	// Upper-bound binary search: the first index with sorted[i] > x.
+	// (A linear scan past ties is O(n) per lookup on heavily tied
+	// samples such as block sizes.)
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
 	return float64(i) / float64(len(c.sorted))
 }
 

@@ -39,6 +39,53 @@ func TestCDFWithDuplicates(t *testing.T) {
 	}
 }
 
+// TestCDFAtHeavilyTied is the regression test for the upper-bound
+// binary search: block-size samples are heavily tied (thousands of
+// identical 64 kB blocks), and At must stay correct — and sub-linear —
+// on such inputs. Correctness is checked against a naive O(n) count.
+func TestCDFAtHeavilyTied(t *testing.T) {
+	const n = 50000
+	xs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		// Three massive tie groups plus a sprinkle of distinct values.
+		switch i % 10 {
+		case 9:
+			xs = append(xs, float64(i))
+		case 8:
+			xs = append(xs, 256<<10)
+		default:
+			xs = append(xs, 64<<10)
+		}
+	}
+	c := NewCDF(xs)
+	naive := func(x float64) float64 {
+		k := 0
+		for _, v := range xs {
+			if v <= x {
+				k++
+			}
+		}
+		return float64(k) / float64(len(xs))
+	}
+	for _, x := range []float64{0, 64<<10 - 1, 64 << 10, 64<<10 + 1, 256 << 10, 1e9, -5} {
+		if got, want := c.At(x), naive(x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("At(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func BenchmarkCDFAtTied(b *testing.B) {
+	xs := make([]float64, 1<<20)
+	for i := range xs {
+		xs[i] = 64 << 10 // fully tied: the old linear scan's worst case
+	}
+	c := NewCDF(xs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.At(64 << 10)
+	}
+}
+
 func TestQuantileInterpolation(t *testing.T) {
 	c := NewCDF([]float64{0, 10})
 	if q := c.Quantile(0.5); math.Abs(q-5) > 1e-12 {

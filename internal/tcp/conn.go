@@ -672,7 +672,14 @@ func sameBacking(p []byte) bool {
 
 func (c *Conn) restartRTO() {
 	c.stopTimer(&c.rtoTimer)
-	if c.sndNxt == c.sndUna && !(c.finSent && c.sndUna == c.finAt) {
+	// Outstanding data is anything transmitted beyond the cumulative
+	// ack. sndNxt is NOT that test: a go-back-N rollback drags sndNxt
+	// to sndUna while retransmissions are in flight, and an ack that
+	// jumps past the rolled-back sndNxt clamps them equal again — in
+	// both states a lost segment must still fire the timer, or the
+	// connection deadlocks with an empty event queue (found by the
+	// shuffled property tests).
+	if c.maxSent == c.sndUna && !(c.finSent && c.sndUna == c.finAt) {
 		return // nothing outstanding
 	}
 	backoff := c.rto << c.rtoBackoff

@@ -34,6 +34,38 @@ func TestPropertyTransferCompletes(t *testing.T) {
 	}
 }
 
+// TestTailSegmentLossDeadlock is the deterministic regression for a
+// stall the property above caught: after an RTO rollback clamps sndNxt
+// to sndUna, an ack jumping past the rolled-back sndNxt made
+// restartRTO believe nothing was outstanding and disarm the timer;
+// the lone retransmitted tail segment then armed nothing either
+// (transmitData checks before sndNxt advances). If that segment was
+// lost, the connection sat forever with an empty event queue. The
+// inputs replay the exact quick.Check counterexample.
+func TestTailSegmentLossDeadlock(t *testing.T) {
+	for _, tc := range []struct {
+		seed      int64
+		loss      float64
+		buf, size int
+	}{
+		{0xc0930f7b + 1, 0.060, 64<<10 + 5*128<<10, 64<<10 + 3*64<<10},
+		{0xe4097634 + 1, 0.075, 64<<10 + 3*128<<10, 64<<10 + 12*64<<10},
+	} {
+		p := newPair(tc.seed, noLossProfile())
+		p.path.Down.SetLoss(netem.RandomLoss{Rate: tc.loss})
+		p.server.Listen(80, Config{}, func(c *Conn) {
+			c.SetCallbacks(Callbacks{OnConnected: func() { c.WriteZero(tc.size) }})
+		})
+		c := p.client.Dial(Config{RecvBuf: tc.buf}, packet.EP(203, 0, 113, 10, 80))
+		got := 0
+		c.SetCallbacks(Callbacks{OnReadable: func() { got += c.Discard(1 << 30) }})
+		p.sch.RunUntil(5 * time.Minute)
+		if got != tc.size {
+			t.Fatalf("seed %#x: transfer stalled at %d/%d bytes (RTO timer lost)", tc.seed, got, tc.size)
+		}
+	}
+}
+
 // Property: the receive buffer never exceeds its capacity no matter
 // how the reader paces, and the advertised window is never negative.
 func TestPropertyFlowControlInvariant(t *testing.T) {
