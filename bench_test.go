@@ -41,7 +41,9 @@ func emit(b *testing.B, artifact fmt.Stringer) {
 
 // BenchmarkSingleSession tracks the per-session hot-path cost
 // (scheduler + link + TCP event machinery) with allocation stats: one
-// 180 s Flash capture on the Research profile.
+// 180 s Flash capture on the Research profile, in the default
+// streaming-capture mode (online analyzer at the tap, segment pool
+// on, no buffered trace).
 func BenchmarkSingleSession(b *testing.B) {
 	v := media.Video{ID: 99, EncodingRate: 1e6, Duration: 300 * time.Second, Container: media.Flash, Resolution: "360p"}
 	b.ReportAllocs()
@@ -50,6 +52,22 @@ func BenchmarkSingleSession(b *testing.B) {
 			Video: v, Service: session.YouTube,
 			Player:  player.NewFlashPlayer("Internet Explorer"),
 			Network: netem.Research, Seed: 7,
+		})
+	}
+}
+
+// BenchmarkSingleSessionBuffered is the same session in
+// tcpdump-then-analyze mode: the full trace is retained (pinning every
+// segment, pool off) and analyzed by replay. The B/op gap between this
+// and BenchmarkSingleSession is the memory win of the sink pipeline.
+func BenchmarkSingleSessionBuffered(b *testing.B) {
+	v := media.Video{ID: 99, EncodingRate: 1e6, Duration: 300 * time.Second, Container: media.Flash, Resolution: "360p"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		session.Run(session.Config{
+			Video: v, Service: session.YouTube,
+			Player:  player.NewFlashPlayer("Internet Explorer"),
+			Network: netem.Research, Seed: 7, Buffered: true,
 		})
 	}
 }

@@ -1,11 +1,15 @@
 // Command vanalyze applies the paper's trace analysis to an existing
 // libpcap capture (one produced by vsession, or by tcpdump with the
 // raw-IP link type): phase detection, block sizes, accumulation ratio
-// and strategy classification.
+// and strategy classification. The records stream straight through the
+// sink pipeline — packets are never buffered in memory (captures that
+// start mid-connection, with no handshake, defer 16 bytes per data
+// packet until EOF; see analysis.Streaming) — and can be fanned out to
+// a normalized pcap re-export at the same time.
 //
 // Usage:
 //
-//	vanalyze -client 10.0.0.1 [-duration 300] session.pcap
+//	vanalyze -client 10.0.0.1 [-duration 300] [-pcap out.pcap] session.pcap
 package main
 
 import (
@@ -18,12 +22,14 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 func main() {
 	client := flag.String("client", "10.0.0.1", "client (vantage) IPv4 address")
 	duration := flag.Float64("duration", 0, "video duration in seconds (for the WebM rate fallback)")
 	rate := flag.Float64("rate", 0, "known encoding rate in Mbps (optional)")
+	pcapOut := flag.String("pcap", "", "re-export the parsed capture to this pcap file")
 	verbose := flag.Bool("v", false, "print every ON-OFF cycle")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -43,9 +49,29 @@ func main() {
 		KnownDuration: time.Duration(*duration * float64(time.Second)),
 		KnownRate:     *rate * 1e6,
 	}
-	a, err := core.ClassifyPcap(f, addr, cfg)
+	// The re-export rides the same packet stream as the analyzer via
+	// the Trace sink — one read of the input, two consumers.
+	var extra []trace.Sink
+	var tr *trace.Trace
+	if *pcapOut != "" {
+		tr = &trace.Trace{}
+		extra = append(extra, tr)
+	}
+	a, err := core.ClassifyPcapStream(f, addr, cfg, extra...)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if tr != nil {
+		out, err := os.Create(*pcapOut)
+		if err != nil {
+			fatalf("creating pcap: %v", err)
+		}
+		if err := tr.WritePcap(out, 0); err != nil {
+			fatalf("writing pcap: %v", err)
+		}
+		if err := out.Close(); err != nil {
+			fatalf("closing pcap: %v", err)
+		}
 	}
 	fmt.Printf("strategy          : %s\n", a.Strategy)
 	fmt.Printf("connections       : %d\n", a.ConnCount)

@@ -64,6 +64,10 @@ func main() {
 	res, err := core.Stream(core.StreamConfig{
 		Video: v, App: core.Application(*app), Network: prof,
 		Seed: *seed, DurationSeconds: *capture,
+		// Streaming capture by default; buffer only what the output
+		// flags actually need.
+		Buffered: *pcapPath != "",
+		Series:   *csvPath != "",
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -71,7 +75,7 @@ func main() {
 	a := res.Analysis
 	fmt.Printf("session : %s on %s, %s\n", *app, prof.Name, v)
 	fmt.Printf("capture : %d packets, %.2f MB down, %d connections\n",
-		res.Trace.Len(), float64(a.TotalBytes)/1e6, a.ConnCount)
+		res.Packets, float64(a.TotalBytes)/1e6, a.ConnCount)
 	fmt.Printf("result  : %s\n", a)
 
 	if *pcapPath != "" {
@@ -94,7 +98,7 @@ func main() {
 		}
 		w := csv.NewWriter(f)
 		_ = w.Write([]string{"t_seconds", "bytes"})
-		for _, p := range res.Trace.DownloadSeries() {
+		for _, p := range res.Download {
 			_ = w.Write([]string{
 				strconv.FormatFloat(p.TS.Seconds(), 'f', 6, 64),
 				strconv.FormatInt(p.Bytes, 10),

@@ -40,7 +40,7 @@ func main() {
 	fmt.Printf("video            : %s\n", video)
 	fmt.Printf("network          : %s (RTT %v)\n", netem.Research.Name, netem.Research.RTT)
 	fmt.Printf("captured         : %d packets, %.1f MB downstream, %d TCP connection(s)\n",
-		res.Trace.Len(), float64(a.TotalBytes)/1e6, a.ConnCount)
+		res.Packets, float64(a.TotalBytes)/1e6, a.ConnCount)
 	fmt.Println()
 	fmt.Printf("buffering phase  : ends at %.1f s with %.2f MB (%.0f s of playback)\n",
 		a.BufferingEnd.Seconds(), float64(a.BufferedBytes)/1e6, a.PlaybackBuffered())

@@ -1,0 +1,71 @@
+// Streaming: constant-memory analysis of a shared flash crowd. Six
+// Flash clients pile onto one Residence bottleneck inside 20 seconds;
+// every client's capture flows through an online analysis.Streaming
+// sink attached at the tap, so the run holds per-flow state and a few
+// fixed-width series bins instead of hundreds of thousands of buffered
+// packets (Outcome.Trace stays nil — nothing to buffer). This is the
+// sink pipeline the experiments run on by default; tcpdump mode is one
+// Spec.Buffered flag away when a pcap is actually wanted.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/scenario"
+)
+
+func main() {
+	sp := scenario.Spec{
+		Name:    "flash-crowd",
+		Profile: netem.Residence, // 7.7 Mbps ADSL: six streams oversubscribe it
+		Player:  scenario.Flash,
+		Video: media.Video{
+			ID: 300, EncodingRate: 1e6, Duration: 5 * time.Minute,
+			Container: media.Flash, Resolution: "360p",
+		},
+		Sessions: 6,
+		Arrival:  scenario.Arrival{Kind: scenario.FlashCrowd, Window: 20 * time.Second},
+		Duration: 2 * time.Minute,
+		Seed:     7,
+		// Ask the streaming analyzer for 10-second series bins: the
+		// O(duration/bin) form of the download curve.
+		SeriesBin: 10 * time.Second,
+	}
+
+	fmt.Println("=== streaming: flash crowd on one shared bottleneck, O(flows) memory ===")
+	res := scenario.RunShared(sp)
+	fmt.Printf("bottleneck : offered %d pkts, induced loss %.2f%%, aggregate %.2f Mbps\n",
+		res.Offered, res.InducedLoss*100, res.AggregateMbps)
+	fmt.Printf("strategies : %s\n\n", res.StrategyMix())
+
+	fmt.Printf("%-3s %-8s %-9s %-14s %-10s %s\n", "id", "start", "packets", "strategy", "MB down", "buffered trace?")
+	for _, o := range res.Outcomes {
+		a := o.Analysis
+		fmt.Printf("%-3d %-8s %-9d %-14s %-10.2f %v\n",
+			o.Index, o.Start.Round(time.Second), o.Packets, a.Strategy,
+			float64(a.TotalBytes)/1e6, o.Trace != nil)
+	}
+
+	// The binned download curve of the first arrival: each row is one
+	// 10 s bin — fixed memory no matter how long the capture runs.
+	fmt.Println()
+	fmt.Println("client 0 download curve (10 s bins, # = 250 kB):")
+	for _, b := range res.Outcomes[0].Analysis.Bins {
+		bar := strings.Repeat("#", int(b.Bytes/250_000))
+		fmt.Printf("  %4ds %7.2f MB %s\n", int(b.Start.Seconds()), float64(b.Bytes)/1e6, bar)
+	}
+
+	fmt.Println()
+	fmt.Println("Every number above came out of sinks that never stored a packet:")
+	fmt.Println("the analyzer keeps per-flow counters, the cycle list, and these")
+	fmt.Println("bins, while segment structs are recycled through a pool the moment")
+	fmt.Println("they are delivered. Set Spec.Buffered to flip the same run back to")
+	fmt.Println("tcpdump-then-analyze and export pcaps — the classifier output is")
+	fmt.Println("bit-identical either way (enforced by the equivalence test suite).")
+}

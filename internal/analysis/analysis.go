@@ -1,5 +1,5 @@
-// Package analysis computes the paper's measurement metrics from a
-// captured trace alone, mirroring Sections 3–5:
+// Package analysis computes the paper's measurement metrics from the
+// captured packets alone, mirroring Sections 3–5:
 //
 //   - ON/OFF cycle segmentation of the downstream data,
 //   - phase detection (the buffering phase ends at the start of the
@@ -12,6 +12,10 @@
 //   - the ACK-clock metric (bytes in the first RTT of each ON period,
 //     Figure 9), and
 //   - the streaming-strategy classifier (2.5 MB block threshold).
+//
+// The core is Streaming, an online trace.Sink holding O(flows) state;
+// Analyze replays a buffered Trace through the same core, so buffered
+// and streaming sessions produce bit-identical Results.
 package analysis
 
 import (
@@ -20,7 +24,6 @@ import (
 	"time"
 
 	"repro/internal/media"
-	"repro/internal/packet"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -45,6 +48,11 @@ type Config struct {
 	// a new ON period — they are zero-window keepalive probes, not
 	// media blocks. Default 128.
 	ProbeIgnoreBytes int
+	// SeriesBin, when positive, makes the analyzer aggregate the
+	// download/window series into fixed-width time bins (Result.Bins):
+	// the constant-memory form of the figure series, O(duration/bin)
+	// instead of O(packets).
+	SeriesBin time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +113,18 @@ type MediaInfo struct {
 	RateSource string
 }
 
+// SeriesBin aggregates the capture over one fixed-width time bin (see
+// Config.SeriesBin): downstream payload bytes, packet count, and the
+// advertised-window envelope observed in the bin (-1 when no Up packet
+// fell into it).
+type SeriesBin struct {
+	Start      time.Duration
+	Bytes      int64
+	Packets    int
+	MinWindow  int
+	LastWindow int
+}
+
 // Result is the full per-session analysis.
 type Result struct {
 	Cycles []Cycle
@@ -130,149 +150,35 @@ type Result struct {
 	// Trace-level accounting.
 	TotalBytes  int64
 	Duration    time.Duration
+	Packets     int // captured packets, both directions
 	ConnCount   int
 	Retrans     int
 	DataSegs    int
 	RetransRate float64
+
+	// Bins is the optional binned series (Config.SeriesBin).
+	Bins []SeriesBin
 }
 
-// Analyze runs the full pipeline on a captured trace.
+// Analyze runs the full pipeline on a buffered trace by replaying it
+// through the streaming core.
 func Analyze(t *trace.Trace, cfg Config) *Result {
-	cfg = cfg.withDefaults()
-	r := &Result{
-		TotalBytes: t.DownBytes(),
-		Duration:   t.Duration(),
-		ConnCount:  len(t.Flows()),
-	}
-	r.Retrans, r.DataSegs = t.Retransmissions()
-	if r.DataSegs > 0 {
-		r.RetransRate = float64(r.Retrans) / float64(r.DataSegs)
-	}
-	r.RTT = estimateRTT(t)
-	r.Cycles = segment(t, cfg.OffThreshold, cfg.ProbeIgnoreBytes)
-	if len(r.Cycles) == 0 {
-		return r
-	}
-
-	// Phases: buffering ends where the first OFF begins.
-	first := r.Cycles[0]
-	r.BufferingEnd = first.End
-	r.BufferedBytes = first.Bytes
-	r.HasSteadyState = len(r.Cycles) > 1
-
-	if r.HasSteadyState {
-		steady := r.Cycles[1:]
-		var steadyBytes int64
-		for _, c := range steady {
-			r.Blocks = append(r.Blocks, c.Bytes)
-			steadyBytes += c.Bytes
-		}
-		span := steady[len(steady)-1].End - first.End
-		if span > 0 {
-			r.SteadyRate = float64(steadyBytes) * 8 / span.Seconds()
-		}
-		r.FirstRTTBytes = ackClockSamples(t, steady, r.RTT)
-	}
-
-	r.Media = extractMedia(t, cfg)
-	if r.Media.EncodingRate > 0 && r.SteadyRate > 0 {
-		r.AccumulationRatio = r.SteadyRate / r.Media.EncodingRate
-	}
-	r.Strategy = classify(r)
-	return r
-}
-
-// segment splits the aggregate downstream data into ON periods
-// separated by silences longer than off. Segments smaller than
-// probeIgnore never start an ON period: isolated zero-window probes
-// stay part of the surrounding OFF.
-func segment(t *trace.Trace, off time.Duration, probeIgnore int) []Cycle {
-	var cycles []Cycle
-	var cur *Cycle
-	var lastData time.Duration
+	s := NewStreaming(cfg)
 	for _, rec := range t.Records {
-		if rec.Dir != trace.Down || rec.Seg.Len() == 0 {
-			continue
-		}
-		if rec.Seg.Len() < probeIgnore && (cur == nil || rec.TS-lastData > off) {
-			continue // keepalive probe inside an OFF period
-		}
-		ts := rec.TS
-		if cur == nil {
-			cycles = append(cycles, Cycle{Start: ts})
-			cur = &cycles[len(cycles)-1]
-		} else if ts-lastData > off {
-			cur.End = lastData
-			cur.OffAfter = ts - lastData
-			cycles = append(cycles, Cycle{Start: ts})
-			cur = &cycles[len(cycles)-1]
-		}
-		cur.Bytes += int64(rec.Seg.Len())
-		lastData = ts
+		s.Capture(rec.TS, rec.Dir, rec.Seg)
 	}
-	if cur != nil {
-		cur.End = lastData
-	}
-	return cycles
+	return s.Result()
 }
 
-// estimateRTT uses the SYN -> SYN-ACK gap of the first complete
-// handshake in the capture; it falls back to the first data->ack gap.
-func estimateRTT(t *trace.Trace) time.Duration {
-	synAt := map[uint16]time.Duration{} // keyed by client port
-	for _, rec := range t.Records {
-		seg := rec.Seg
-		isSyn := seg.HasFlag(packet.FlagSYN)
-		isAck := seg.HasFlag(packet.FlagACK)
-		if rec.Dir == trace.Up && isSyn && !isAck {
-			if _, dup := synAt[seg.Src.Port]; !dup {
-				synAt[seg.Src.Port] = rec.TS
-			}
-		}
-		if rec.Dir == trace.Down && isSyn && isAck {
-			if t0, ok := synAt[seg.Dst.Port]; ok {
-				return rec.TS - t0
-			}
-		}
-	}
-	return 40 * time.Millisecond
-}
-
-// ackClockSamples sums downstream payload bytes within the first RTT
-// of each steady-state ON period: the paper's conservative estimate of
-// the congestion window at ON-period start (Figure 9).
-func ackClockSamples(t *trace.Trace, steady []Cycle, rtt time.Duration) []int64 {
-	out := make([]int64, len(steady))
-	ci := 0
-	for _, rec := range t.Records {
-		if rec.Dir != trace.Down || rec.Seg.Len() == 0 {
-			continue
-		}
-		for ci < len(steady) && rec.TS > steady[ci].Start+rtt {
-			ci++
-		}
-		if ci == len(steady) {
-			break
-		}
-		c := steady[ci]
-		if rec.TS >= c.Start && rec.TS <= c.Start+rtt {
-			out[ci] += int64(rec.Seg.Len())
-		}
-	}
-	return out
-}
-
-// extractMedia recovers content metadata from the first flow's payload
-// bytes: HTTP response header, then container header. This is the
-// paper's methodology — rate from the Flash header, or the
-// Content-Length/duration estimate for WebM.
-func extractMedia(t *trace.Trace, cfg Config) MediaInfo {
+// mediaFromStream recovers content metadata from the reassembled
+// payload prefix of the first flow: HTTP response header, then
+// container header. This is the paper's methodology — rate from the
+// Flash header, or the Content-Length/duration estimate for WebM.
+func mediaFromStream(stream []byte, haveFlow bool, cfg Config) MediaInfo {
 	mi := MediaInfo{Duration: cfg.KnownDuration}
-	flows := t.Flows()
-	if len(flows) == 0 {
+	if !haveFlow {
 		return applyKnown(mi, cfg)
 	}
-	stream := t.Reassemble(flows[0], 4096)
 	idx := bytes.Index(stream, []byte("\r\n\r\n"))
 	if idx < 0 {
 		return applyKnown(mi, cfg)

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+var (
+	testClient = packet.EP(10, 0, 0, 1, 40000)
+	testServer = packet.EP(203, 0, 113, 10, 80)
+	downFlow   = packet.Flow{Src: testServer, Dst: testClient}
+	upFlow     = packet.Flow{Src: testClient, Dst: testServer}
+)
+
+func dseg(seq uint32, payload []byte, n int) *packet.Segment {
+	return &packet.Segment{Flow: downFlow, Seq: seq, Flags: packet.FlagACK, Window: 65536, Payload: payload, PayloadLen: n}
+}
+
+// payloadFor makes retransmission content deterministic: the byte at
+// absolute sequence s is always f(s), like a real TCP stream.
+func payloadFor(seq uint32, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte((seq + uint32(i)) * 131)
+	}
+	return p
+}
+
+// TestHeaderAsmMatchesTraceReassemble cross-checks the bounded online
+// reassembler against the buffered Trace.Reassemble walk on randomized
+// segment streams: duplicates, partial overlaps, reordering, gaps,
+// payload-free (snaplen-truncated) pieces, present or missing SYN.
+func TestHeaderAsmMatchesTraceReassemble(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const base = uint32(5000)
+	for trial := 0; trial < 300; trial++ {
+		tr := &trace.Trace{}
+		asm := headerAsm{}
+		feed := func(seg *packet.Segment) {
+			tr.Capture(time.Duration(tr.Len())*time.Millisecond, trace.Down, seg)
+			asm.add(seg)
+		}
+		if rng.Intn(4) > 0 { // usually the SYN is captured
+			feed(&packet.Segment{Flow: downFlow, Seq: base - 1, Flags: packet.FlagSYN | packet.FlagACK})
+		}
+		segs := 1 + rng.Intn(24)
+		for i := 0; i < segs; i++ {
+			off := uint32(rng.Intn(6000))
+			n := 1 + rng.Intn(1600)
+			seq := base + off
+			var payload []byte
+			if rng.Intn(5) > 0 {
+				payload = payloadFor(seq, n)
+				if rng.Intn(8) == 0 && n > 3 {
+					payload = payload[:n/2] // snaplen truncation
+				}
+			}
+			feed(&packet.Segment{Flow: downFlow, Seq: seq, Flags: packet.FlagACK, Payload: payload, PayloadLen: n})
+		}
+		want := tr.Reassemble(downFlow, maxHeaderBytes)
+		got := asm.finish()
+		if !bytes.Equal(want, got) {
+			t.Fatalf("trial %d: online reassembly diverged: want %d bytes, got %d", trial, len(want), len(got))
+		}
+	}
+}
+
+// TestStreamingNoHandshakeFallback: a capture that starts mid-flow has
+// no handshake, so the RTT falls back to 40 ms and the ACK-clock
+// samples deferred during the capture must still be credited to the
+// right cycles on Close.
+func TestStreamingNoHandshakeFallback(t *testing.T) {
+	s := NewStreaming(Config{OffThreshold: 150 * time.Millisecond})
+	at := func(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }
+	// Cycle 0 (buffering): 3 segments.
+	s.Capture(at(0), trace.Down, dseg(1000, nil, 1000))
+	s.Capture(at(10), trace.Down, dseg(2000, nil, 1000))
+	s.Capture(at(20), trace.Down, dseg(3000, nil, 1000))
+	// OFF 300 ms, then cycle 1: two segments inside 40 ms, one after.
+	s.Capture(at(320), trace.Down, dseg(4000, nil, 500))
+	s.Capture(at(350), trace.Down, dseg(4500, nil, 500))
+	s.Capture(at(400), trace.Down, dseg(5000, nil, 500))
+	r := s.Result()
+	if r.RTT != 40*time.Millisecond {
+		t.Fatalf("RTT fallback = %v, want 40ms", r.RTT)
+	}
+	if len(r.Cycles) != 2 || len(r.FirstRTTBytes) != 1 {
+		t.Fatalf("cycles = %d, samples = %v", len(r.Cycles), r.FirstRTTBytes)
+	}
+	// Window [320, 360]: the 320 and 350 segments, not the 400 one.
+	if r.FirstRTTBytes[0] != 1000 {
+		t.Fatalf("first-RTT bytes = %d, want 1000", r.FirstRTTBytes[0])
+	}
+	if r.TotalBytes != 4500 || r.DataSegs != 6 {
+		t.Fatalf("accounting: %d bytes, %d segs", r.TotalBytes, r.DataSegs)
+	}
+}
+
+// TestStreamingRTTFromHandshake: the estimate is the first SYN ->
+// SYN-ACK gap, resolved online.
+func TestStreamingRTTFromHandshake(t *testing.T) {
+	s := NewStreaming(Config{})
+	s.Capture(0, trace.Up, &packet.Segment{Flow: upFlow, Seq: 99, Flags: packet.FlagSYN, Window: 65536})
+	s.Capture(35*time.Millisecond, trace.Down, &packet.Segment{Flow: downFlow, Seq: 499, Ack: 100, Flags: packet.FlagSYN | packet.FlagACK, Window: 65536})
+	s.Capture(40*time.Millisecond, trace.Down, dseg(500, nil, 1000))
+	r := s.Result()
+	if r.RTT != 35*time.Millisecond {
+		t.Fatalf("RTT = %v, want 35ms", r.RTT)
+	}
+	if r.ConnCount != 1 || r.Packets != 3 {
+		t.Fatalf("conns=%d packets=%d", r.ConnCount, r.Packets)
+	}
+}
+
+// TestStreamingBinnedSeries: SeriesBin aggregates the capture into
+// contiguous fixed-width bins with a window envelope.
+func TestStreamingBinnedSeries(t *testing.T) {
+	s := NewStreaming(Config{SeriesBin: 100 * time.Millisecond})
+	s.Capture(10*time.Millisecond, trace.Down, dseg(1000, nil, 700))
+	s.Capture(20*time.Millisecond, trace.Up, &packet.Segment{Flow: upFlow, Flags: packet.FlagACK, Window: 64000})
+	s.Capture(250*time.Millisecond, trace.Down, dseg(2000, nil, 300))
+	s.Capture(260*time.Millisecond, trace.Up, &packet.Segment{Flow: upFlow, Flags: packet.FlagACK, Window: 0})
+	r := s.Result()
+	if len(r.Bins) != 3 {
+		t.Fatalf("bins = %d, want 3 (gap bin included)", len(r.Bins))
+	}
+	if r.Bins[0].Bytes != 700 || r.Bins[0].Packets != 2 || r.Bins[0].LastWindow != 64000 {
+		t.Fatalf("bin 0 = %+v", r.Bins[0])
+	}
+	if r.Bins[1].Packets != 0 || r.Bins[1].MinWindow != -1 {
+		t.Fatalf("gap bin = %+v", r.Bins[1])
+	}
+	if r.Bins[2].Bytes != 300 || r.Bins[2].MinWindow != 0 {
+		t.Fatalf("bin 2 = %+v", r.Bins[2])
+	}
+}
+
+// TestStreamingIgnoresCapturesAfterClose: Result freezes the analysis.
+func TestStreamingIgnoresCapturesAfterClose(t *testing.T) {
+	s := NewStreaming(Config{})
+	s.Capture(0, trace.Down, dseg(1000, nil, 1000))
+	r := s.Result()
+	total := r.TotalBytes
+	s.Capture(time.Second, trace.Down, dseg(2000, nil, 1000))
+	if got := s.Result().TotalBytes; got != total {
+		t.Fatalf("capture after close changed the result: %d -> %d", total, got)
+	}
+}

@@ -104,21 +104,28 @@ type StreamConfig struct {
 	Seed    int64
 	// DurationSeconds bounds the capture; 0 means the paper's 180 s.
 	DurationSeconds float64
+	// Buffered retains the full capture for pcap export; Series
+	// collects the exact download/window series. Both default off —
+	// the streaming capture pipeline with O(flows) state.
+	Buffered bool
+	Series   bool
 }
 
 // Stream runs one streaming session and returns the session result
-// (trace, analysis, counters).
+// (analysis, counters, and — when asked for — the buffered trace).
 func Stream(cfg StreamConfig) (*session.Result, error) {
 	p, err := NewPlayer(cfg.App)
 	if err != nil {
 		return nil, err
 	}
 	sc := session.Config{
-		Video:   cfg.Video,
-		Service: ServiceFor(cfg.App),
-		Player:  p,
-		Network: cfg.Network,
-		Seed:    cfg.Seed,
+		Video:    cfg.Video,
+		Service:  ServiceFor(cfg.App),
+		Player:   p,
+		Network:  cfg.Network,
+		Seed:     cfg.Seed,
+		Buffered: cfg.Buffered,
+		Series:   cfg.Series,
 	}
 	if cfg.DurationSeconds > 0 {
 		sc.Duration = time.Duration(cfg.DurationSeconds * float64(time.Second))
@@ -128,13 +135,26 @@ func Stream(cfg StreamConfig) (*session.Result, error) {
 
 // ClassifyPcap analyzes a libpcap capture (from this library or from
 // tcpdump with raw-IP linktype) taken at clientAddr and returns the
-// paper's metrics for it.
+// paper's metrics for it. The records stream straight through the
+// online analyzer — the capture is never materialized in memory.
 func ClassifyPcap(r io.Reader, clientAddr [4]byte, cfg analysis.Config) (*analysis.Result, error) {
-	tr, err := trace.ReadPcap(r, clientAddr)
-	if err != nil {
+	return ClassifyPcapStream(r, clientAddr, cfg)
+}
+
+// ClassifyPcapStream reads a capture once, fanning each packet out to
+// the streaming analyzer plus any extra sinks (a trace.Trace for
+// re-export, a trace.Series for plotting, ...), and returns the
+// analysis.
+func ClassifyPcapStream(r io.Reader, clientAddr [4]byte, cfg analysis.Config, extra ...trace.Sink) (*analysis.Result, error) {
+	s := analysis.NewStreaming(cfg)
+	sink := trace.Fanout(append([]trace.Sink{s}, extra...)...)
+	if err := trace.StreamPcap(r, clientAddr, sink); err != nil {
 		return nil, fmt.Errorf("core: reading capture: %w", err)
 	}
-	return analysis.Analyze(tr, cfg), nil
+	if err := sink.Close(); err != nil {
+		return nil, fmt.Errorf("core: closing capture sinks: %w", err)
+	}
+	return s.Result(), nil
 }
 
 // Re-exported model helpers so dimensioning users need only this

@@ -66,7 +66,7 @@ func TestStreamEndToEnd(t *testing.T) {
 func TestClassifyPcapRoundTrip(t *testing.T) {
 	r, err := Stream(StreamConfig{
 		Video: video(), App: FlashIE, Network: netem.Research,
-		Seed: 2, DurationSeconds: 60,
+		Seed: 2, DurationSeconds: 60, Buffered: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -79,11 +79,14 @@ func runSessions(o Options, cfgs []session.Config) []*session.Result {
 	return runner.Sessions(o.pool(), cfgs)
 }
 
-// ytConfig builds one YouTube session config.
+// ytConfig builds one YouTube session config. Experiment sessions run
+// the streaming capture pipeline with the exact figure series enabled
+// (points, not packets), so every artifact stays identical to the
+// buffered pipeline's output.
 func ytConfig(v media.Video, p player.Player, net netem.Profile, seed int64, d time.Duration) session.Config {
 	return session.Config{
 		Video: v, Service: session.YouTube, Player: p,
-		Network: net, Seed: seed, Duration: d,
+		Network: net, Seed: seed, Duration: d, Series: true,
 	}
 }
 
@@ -91,7 +94,7 @@ func ytConfig(v media.Video, p player.Player, net netem.Profile, seed int64, d t
 func nfConfig(v media.Video, p player.Player, net netem.Profile, seed int64, d time.Duration) session.Config {
 	return session.Config{
 		Video: v, Service: session.Netflix, Player: p,
-		Network: net, Seed: seed, Duration: d,
+		Network: net, Seed: seed, Duration: d, Series: true,
 	}
 }
 

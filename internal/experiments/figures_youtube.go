@@ -94,7 +94,7 @@ func Figure2(o Options) *Figure2Result {
 }
 
 func downloadSeries(r *session.Result, points int) []SeriesPoint {
-	raw := r.Trace.DownloadSeries()
+	raw := r.Download
 	out := make([]SeriesPoint, len(raw))
 	for i, p := range raw {
 		out[i] = SeriesPoint{T: p.TS, V: float64(p.Bytes)}
@@ -105,7 +105,7 @@ func downloadSeries(r *session.Result, points int) []SeriesPoint {
 func windowSeries(r *session.Result, points int) ([]SeriesPoint, int) {
 	var out []SeriesPoint
 	zeroes := 0
-	for _, wp := range r.Trace.ReceiveWindowSeries() {
+	for _, wp := range r.Windows {
 		out = append(out, SeriesPoint{T: wp.TS, V: float64(wp.Window)})
 		if wp.Window == 0 {
 			zeroes++

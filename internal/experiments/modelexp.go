@@ -59,7 +59,7 @@ func Table2(o Options) *Table2Result {
 	for i, c := range cases {
 		r := results[i]
 		var maxAhead, total float64
-		for _, p := range r.Trace.DownloadSeries() {
+		for _, p := range r.Download {
 			ahead := float64(p.Bytes) - v.EncodingRate/8*p.TS.Seconds()
 			if ahead > maxAhead {
 				maxAhead = ahead

@@ -272,6 +272,14 @@ type Path struct {
 	Up   *Link // client -> server
 }
 
+// AddTaps attaches one capture tap per direction — the duplex
+// attachment point a capture sink fan-out plugs into (each link still
+// fans out to any number of taps).
+func (p *Path) AddTaps(down, up Tap) {
+	p.Down.AddTap(down)
+	p.Up.AddTap(up)
+}
+
 // Profile describes a vantage network. Rates are the observed
 // bottleneck rates from Section 4.2; RTT and loss are chosen to match
 // the paper's reported retransmission medians (Residence 1.02%,

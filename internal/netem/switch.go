@@ -63,5 +63,12 @@ func (d *Dumbbell) Attach(addr [4]byte, client Receiver) *Link {
 	return d.Up
 }
 
+// AddTaps attaches one capture tap per direction on the shared links,
+// mirroring Path.AddTaps.
+func (d *Dumbbell) AddTaps(down, up Tap) {
+	d.Down.AddTap(down)
+	d.Up.AddTap(up)
+}
+
 // Unrouted exposes the switch's unrouted-packet counter.
 func (d *Dumbbell) Unrouted() int { return d.sw.Unrouted }

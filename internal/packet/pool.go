@@ -1,0 +1,36 @@
+package packet
+
+// Pool is a free list of Segment structs for one single-threaded
+// simulation. Streaming captures observe segments synchronously at the
+// tap, so once a segment has been delivered nothing references the
+// struct any more and it can be reused instead of burdening the GC —
+// segments are the dominant per-packet allocation of a session.
+//
+// Only the struct is recycled: payload byte slices keep their backing
+// arrays, so receive buffers and reassemblers may alias Payload freely.
+// A Pool is not safe for concurrent use; every simulation owns its own
+// (the runner gives each parallel session a private one).
+type Pool struct {
+	free []*Segment
+}
+
+// Get returns a zeroed segment, reusing a recycled one when available.
+func (p *Pool) Get() *Segment {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		*s = Segment{}
+		return s
+	}
+	return &Segment{}
+}
+
+// Put recycles a segment. The caller must guarantee that no reference
+// to the struct survives — buffered capture sinks retain segments, so
+// pooling is only enabled when every attached sink is streaming.
+func (p *Pool) Put(s *Segment) {
+	if s == nil {
+		return
+	}
+	p.free = append(p.free, s)
+}

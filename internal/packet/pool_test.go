@@ -1,0 +1,27 @@
+package packet
+
+import "testing"
+
+func TestPoolReusesAndZeroes(t *testing.T) {
+	p := &Pool{}
+	s := p.Get()
+	s.Seq = 42
+	s.Payload = []byte{1, 2, 3}
+	s.PayloadLen = 9
+	s.Flags = FlagSYN
+	p.Put(s)
+	got := p.Get()
+	if got != s {
+		t.Fatal("pool must reuse the recycled struct")
+	}
+	if got.Seq != 0 || got.Payload != nil || got.PayloadLen != 0 || got.Flags != 0 || got.Window != 0 {
+		t.Fatalf("recycled segment not zeroed: %+v", got)
+	}
+	if p.Get() == s {
+		t.Fatal("empty pool must allocate a fresh struct")
+	}
+	p.Put(nil) // must not panic or store
+	if p.Get() == nil {
+		t.Fatal("nil must not enter the free list")
+	}
+}

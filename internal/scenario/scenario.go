@@ -60,6 +60,12 @@ type Spec struct {
 	Down, Up netem.Dynamics
 	// ServerTCP overrides the server's TCP configuration.
 	ServerTCP tcp.Config
+	// Buffered retains each session's full capture (tcpdump mode)
+	// instead of the default streaming sinks; see session.Config.
+	Buffered bool
+	// SeriesBin, when positive, asks the analyzer for fixed-width
+	// binned series (constant-memory download/window curves).
+	SeriesBin time.Duration
 }
 
 // Service returns the service the spec's player talks to. A player
@@ -143,6 +149,8 @@ func (s Spec) Configs() []session.Config {
 			ServerTCP:    s.ServerTCP,
 			DownDynamics: s.Down,
 			UpDynamics:   s.Up,
+			Buffered:     s.Buffered,
+			SeriesBin:    s.SeriesBin,
 		}
 	}
 	return cfgs
@@ -160,8 +168,11 @@ type Outcome struct {
 	Index      int
 	Start      time.Duration
 	Downloaded int64
-	Trace      *trace.Trace
-	Analysis   *analysis.Result
+	// Packets counts this client's captured packets (both directions).
+	Packets int
+	// Trace is the buffered capture; nil unless Spec.Buffered.
+	Trace    *trace.Trace
+	Analysis *analysis.Result
 }
 
 // SharedResult is everything a shared-bottleneck run produced.
@@ -207,7 +218,9 @@ func clientAddr(i int) [4]byte {
 // netem.Dumbbell bottleneck in a single deterministic simulation:
 // sessions join at their arrival offsets and compete for the same
 // drop-tail queue while the spec's dynamics play out on the shared
-// links. Each client's trace is captured and analyzed individually.
+// links. Each client's capture is analyzed individually through its
+// own streaming sink (or a buffered trace when Spec.Buffered asks for
+// tcpdump mode).
 func RunShared(s Spec) *SharedResult {
 	s = s.withDefaults()
 	if err := s.Validate(); err != nil {
@@ -219,6 +232,14 @@ func RunShared(s Spec) *SharedResult {
 	server.SetLink(db.Down)
 	s.Down.Apply(sch, db.Down)
 	s.Up.Apply(sch, db.Up)
+
+	// One shared pool for every stack on the dumbbell: with only
+	// streaming sinks attached, no segment survives its delivery.
+	var pool *packet.Pool
+	if !s.Buffered {
+		pool = &packet.Pool{}
+		server.SetSegmentPool(pool)
+	}
 
 	vids := make([]media.Video, s.Sessions)
 	for i := range vids {
@@ -234,18 +255,32 @@ func RunShared(s Spec) *SharedResult {
 	starts := s.Arrival.Times(s.Sessions, sch.Rand())
 	res := &SharedResult{Spec: s, Outcomes: make([]Outcome, s.Sessions)}
 	players := make([]player.Player, s.Sessions)
+	streams := make([]*analysis.Streaming, s.Sessions)
 	downTap := &dispatchTap{down: true, byAddr: make(map[[4]byte]netem.Tap, s.Sessions)}
 	upTap := &dispatchTap{byAddr: make(map[[4]byte]netem.Tap, s.Sessions)}
-	db.Down.AddTap(downTap)
-	db.Up.AddTap(upTap)
+	db.AddTaps(downTap, upTap)
 	for i := 0; i < s.Sessions; i++ {
 		i := i
 		addr := clientAddr(i)
 		client := tcp.NewHost(sch, addr[0], addr[1], addr[2], addr[3])
 		client.SetLink(db.Attach(addr, client))
-		tr := &trace.Trace{}
-		downTap.byAddr[addr] = tr.Tap(trace.Down)
-		upTap.byAddr[addr] = tr.Tap(trace.Up)
+		if pool != nil {
+			client.SetSegmentPool(pool)
+		}
+		streams[i] = analysis.NewStreaming(analysis.Config{
+			KnownDuration: vids[i].Duration,
+			KnownRate:     vids[i].EncodingRate,
+			SeriesBin:     s.SeriesBin,
+		})
+		sinks := []trace.Sink{streams[i]}
+		var tr *trace.Trace
+		if s.Buffered {
+			tr = &trace.Trace{}
+			sinks = append(sinks, tr)
+		}
+		sink := trace.Fanout(sinks...)
+		downTap.byAddr[addr] = trace.SinkTap(sink, trace.Down)
+		upTap.byAddr[addr] = trace.SinkTap(sink, trace.Up)
 		res.Outcomes[i] = Outcome{Index: i, Start: starts[i], Trace: tr}
 		env := &player.Env{Sch: sch, Host: client, Server: packet.Endpoint{Addr: session.ServerAddr, Port: 80}}
 		p := s.Player.New()
@@ -263,11 +298,9 @@ func RunShared(s Spec) *SharedResult {
 	for i := range res.Outcomes {
 		o := &res.Outcomes[i]
 		o.Downloaded = players[i].Downloaded()
-		o.Analysis = analysis.Analyze(o.Trace, analysis.Config{
-			KnownDuration: vids[i].Duration,
-			KnownRate:     vids[i].EncodingRate,
-		})
-		aggregate += o.Trace.DownBytes()
+		o.Analysis = streams[i].Result()
+		o.Packets = o.Analysis.Packets
+		aggregate += o.Analysis.TotalBytes
 	}
 	res.Offered = db.Down.Sent + db.Down.Dropped
 	res.Dropped = db.Down.Dropped

@@ -144,7 +144,7 @@ func TestRunIsolatedStartAt(t *testing.T) {
 		if r.Downloaded == 0 {
 			t.Fatalf("session %d downloaded nothing", i)
 		}
-		if r.Trace.Len() == 0 {
+		if r.Packets == 0 {
 			t.Fatalf("session %d captured nothing", i)
 		}
 	}
@@ -168,13 +168,13 @@ func TestRunSharedDeterminism(t *testing.T) {
 	}
 	for i := range a.Outcomes {
 		x, y := a.Outcomes[i], b.Outcomes[i]
-		if x.Start != y.Start || x.Downloaded != y.Downloaded || x.Trace.Len() != y.Trace.Len() {
+		if x.Start != y.Start || x.Downloaded != y.Downloaded || x.Packets != y.Packets {
 			t.Fatalf("outcome %d differs between identical runs", i)
 		}
 		if x.Downloaded == 0 {
 			t.Fatalf("outcome %d downloaded nothing", i)
 		}
-		if x.Trace.Len() == 0 {
+		if x.Packets == 0 {
 			t.Fatalf("outcome %d has an empty per-client capture", i)
 		}
 	}
@@ -192,6 +192,7 @@ func TestRunSharedPerClientCaptures(t *testing.T) {
 		Sessions: 3,
 		Duration: 30 * time.Second,
 		Seed:     2,
+		Buffered: true, // record inspection below needs the raw capture
 	}
 	res := RunShared(sp)
 	var sum int64

@@ -1,10 +1,14 @@
 // Package session orchestrates one streaming measurement exactly like
 // the paper's methodology (Section 4.2): set up a vantage network,
 // start the capture, start the player, stream for 180 seconds, stop,
-// and hand the trace to the analyzer.
+// and analyze. The capture is a sink fan-out: by default only the
+// online analyzer (analysis.Streaming) observes the packets — O(flows)
+// state, with segment structs recycled through a pool — while Buffered
+// retains the full trace.Trace for pcap export and offline tooling.
 package session
 
 import (
+	"errors"
 	"io"
 	"time"
 
@@ -63,13 +67,33 @@ type Config struct {
 	// the historical behaviour.
 	DownDynamics netem.Dynamics
 	UpDynamics   netem.Dynamics
+	// Buffered additionally retains the full capture in Result.Trace
+	// (tcpdump-then-analyze mode) for pcap export and offline flow
+	// inspection. It disables segment pooling, since the trace pins
+	// every segment.
+	Buffered bool
+	// Series additionally collects the exact per-packet download and
+	// receive-window series (Result.Download/Windows) that the figure
+	// experiments plot — points only, no segments.
+	Series bool
+	// SeriesBin, when positive, makes the analyzer aggregate the
+	// capture into fixed-width bins (Result.Analysis.Bins): the
+	// constant-memory form of the series.
+	SeriesBin time.Duration
 }
 
 // Result carries everything a measurement produced.
 type Result struct {
 	Config   Config
-	Trace    *trace.Trace
 	Analysis *analysis.Result
+	// Trace is the buffered capture; nil unless Config.Buffered.
+	Trace *trace.Trace
+	// Download and Windows are the exact figure series; nil unless
+	// Config.Series.
+	Download []trace.DownloadPoint
+	Windows  []trace.WindowPoint
+	// Packets is the captured packet count (both directions).
+	Packets int
 	// Downloaded is the player-side consumed byte count.
 	Downloaded int64
 	Elapsed    time.Duration
@@ -80,6 +104,17 @@ var ClientAddr = [4]byte{10, 0, 0, 1}
 
 // ServerAddr is the service address.
 var ServerAddr = [4]byte{203, 0, 113, 10}
+
+// AnalysisConfig returns the analyzer configuration a session derives
+// from its video metadata (also used by the equivalence tests to
+// re-analyze buffered captures).
+func (cfg Config) AnalysisConfig() analysis.Config {
+	return analysis.Config{
+		KnownDuration: cfg.Video.Duration,
+		KnownRate:     cfg.Video.EncodingRate,
+		SeriesBin:     cfg.SeriesBin,
+	}
+}
 
 // Run executes the session and analyzes the capture.
 func Run(cfg Config) *Result {
@@ -95,10 +130,28 @@ func Run(cfg Config) *Result {
 	cfg.DownDynamics.Apply(sch, path.Down)
 	cfg.UpDynamics.Apply(sch, path.Up)
 
-	// tcpdump at the client vantage point.
-	tr := &trace.Trace{}
-	path.Down.AddTap(tr.Tap(trace.Down))
-	path.Up.AddTap(tr.Tap(trace.Up))
+	// tcpdump at the client vantage point: a fan-out of streaming
+	// sinks, plus the buffered trace when asked for.
+	stream := analysis.NewStreaming(cfg.AnalysisConfig())
+	sinks := []trace.Sink{stream}
+	var series *trace.Series
+	if cfg.Series {
+		series = &trace.Series{}
+		sinks = append(sinks, series)
+	}
+	var tr *trace.Trace
+	if cfg.Buffered {
+		tr = &trace.Trace{}
+		sinks = append(sinks, tr)
+	} else {
+		// Streaming-only capture: nothing retains segments past the
+		// tap, so both stacks can recycle them through one pool.
+		pool := &packet.Pool{}
+		client.SetSegmentPool(pool)
+		server.SetSegmentPool(pool)
+	}
+	sink := trace.Fanout(sinks...)
+	path.AddTaps(trace.SinkTap(sink, trace.Down), trace.SinkTap(sink, trace.Up))
 
 	switch cfg.Service {
 	case YouTube:
@@ -114,22 +167,33 @@ func Run(cfg Config) *Result {
 		cfg.Player.Start(env, cfg.Video)
 	}
 	sch.RunUntil(cfg.Duration)
+	_ = sink.Close()
 
 	res := &Result{
 		Config:     cfg,
+		Analysis:   stream.Result(),
 		Trace:      tr,
 		Downloaded: cfg.Player.Downloaded(),
 		Elapsed:    sch.Now(),
 	}
-	res.Analysis = analysis.Analyze(tr, analysis.Config{
-		KnownDuration: cfg.Video.Duration,
-		KnownRate:     cfg.Video.EncodingRate,
-	})
+	res.Packets = res.Analysis.Packets
+	if series != nil {
+		res.Download = series.Download
+		res.Windows = series.Windows
+	}
 	return res
 }
 
+// ErrNotBuffered is returned when pcap export is requested from a
+// streaming-only session.
+var ErrNotBuffered = errors.New("session: capture not buffered (set Config.Buffered for pcap export)")
+
 // WritePcap saves the capture with a payload-preserving snaplen so
-// container headers survive for offline analysis.
+// container headers survive for offline analysis. The session must
+// have run with Config.Buffered.
 func (r *Result) WritePcap(w io.Writer) error {
+	if r.Trace == nil {
+		return ErrNotBuffered
+	}
 	return r.Trace.WritePcap(w, 0)
 }

@@ -62,6 +62,7 @@ func TestIEHtml5ShortOnOff(t *testing.T) {
 	r := Run(Config{
 		Video: html5Video(), Service: YouTube,
 		Player: player.NewIEHtml5(), Network: netem.Research, Seed: 2,
+		Series: true,
 	})
 	a := r.Analysis
 	if a.Strategy != analysis.ShortOnOff {
@@ -81,7 +82,7 @@ func TestIEHtml5ShortOnOff(t *testing.T) {
 	}
 	// The receive window must oscillate to (near) zero (Figure 2b).
 	sawZero := false
-	for _, wp := range r.Trace.ReceiveWindowSeries() {
+	for _, wp := range r.Windows {
 		if wp.TS > a.BufferingEnd && wp.Window == 0 {
 			sawZero = true
 			break
@@ -245,7 +246,7 @@ func TestSessionDeterministic(t *testing.T) {
 			Player: player.NewFlashPlayer("x"), Network: netem.Residence, Seed: 42,
 			Duration: 60 * time.Second,
 		})
-		return r.Analysis.TotalBytes, r.Trace.Len()
+		return r.Analysis.TotalBytes, r.Packets
 	}
 	b1, l1 := run()
 	b2, l2 := run()
@@ -258,7 +259,7 @@ func TestSessionPcapExport(t *testing.T) {
 	r := Run(Config{
 		Video: flashVideo(), Service: YouTube,
 		Player: player.NewFlashPlayer("x"), Network: netem.Research, Seed: 11,
-		Duration: 30 * time.Second,
+		Duration: 30 * time.Second, Buffered: true,
 	})
 	var buf bytes.Buffer
 	if err := r.WritePcap(&buf); err != nil {
@@ -309,7 +310,7 @@ func TestStartAtDelaysPlayer(t *testing.T) {
 	late := Run(Config{
 		Video: flashVideo(), Service: YouTube,
 		Player: player.NewFlashPlayer("x"), Network: netem.Research, Seed: 5,
-		Duration: 60 * time.Second, StartAt: 30 * time.Second,
+		Duration: 60 * time.Second, StartAt: 30 * time.Second, Buffered: true,
 	})
 	if late.Trace.Len() == 0 {
 		t.Fatal("delayed session captured nothing")
@@ -328,7 +329,7 @@ func TestDynamicsReachSession(t *testing.T) {
 	cfg := Config{
 		Video: hdVideo(), Service: YouTube,
 		Player: player.NewFlashPlayer("x"), Network: netem.Research, Seed: 9,
-		Duration: 60 * time.Second,
+		Duration: 60 * time.Second, Buffered: true,
 	}
 	cfg.DownDynamics = netem.Dynamics{}.Then(netem.OutageStep(20*time.Second, 5*time.Second))
 	r := Run(cfg)

@@ -104,9 +104,14 @@ func (b *sendBuffer) Slice(off int64, n int) ([]byte, bool) {
 
 // recvBuffer stores in-order received bytes until the application
 // reads them. Capacity is enforced by the advertised window, not here.
+// Consumed chunk slots are reclaimed by index so the backing array is
+// reused across the whole connection instead of growing behind a
+// marching front (a steady 180 s session pushes tens of thousands of
+// chunks through here).
 type recvBuffer struct {
 	chunks   [][]byte
-	headOff  int // bytes of chunks[0] already consumed
+	head     int // index of the first unconsumed chunk
+	headOff  int // bytes of chunks[head] already consumed
 	buffered int
 }
 
@@ -117,6 +122,19 @@ func (b *recvBuffer) Len() int { return b.buffered }
 func (b *recvBuffer) Push(data []byte) {
 	if len(data) == 0 {
 		return
+	}
+	if b.head > 0 && b.head*2 >= len(b.chunks) {
+		// At least half the slots are consumed: compact the live tail
+		// to the front and reuse the array. Amortized O(1) — each
+		// compaction copies fewer slots than were consumed since the
+		// last one — and it keeps a permanently backlogged connection
+		// (slow reader, fast sender) from growing a dead-slot prefix.
+		n := copy(b.chunks, b.chunks[b.head:])
+		for i := n; i < len(b.chunks); i++ {
+			b.chunks[i] = nil
+		}
+		b.chunks = b.chunks[:n]
+		b.head = 0
 	}
 	b.chunks = append(b.chunks, data)
 	b.buffered += len(data)
@@ -135,16 +153,16 @@ func (b *recvBuffer) PushZero(n int) {
 // the number consumed. Players use this for bulk media bytes.
 func (b *recvBuffer) Discard(n int) int {
 	consumed := 0
-	for n > 0 && len(b.chunks) > 0 {
-		head := b.chunks[0]
+	for n > 0 && b.head < len(b.chunks) {
+		head := b.chunks[b.head]
 		avail := len(head) - b.headOff
 		take := minInt(avail, n)
 		b.headOff += take
 		consumed += take
 		n -= take
 		if b.headOff == len(head) {
-			b.chunks[0] = nil
-			b.chunks = b.chunks[1:]
+			b.chunks[b.head] = nil
+			b.head++
 			b.headOff = 0
 		}
 	}
@@ -155,14 +173,14 @@ func (b *recvBuffer) Discard(n int) int {
 // Read copies up to len(p) bytes into p. HTTP header parsing uses this.
 func (b *recvBuffer) Read(p []byte) int {
 	read := 0
-	for read < len(p) && len(b.chunks) > 0 {
-		head := b.chunks[0]
+	for read < len(p) && b.head < len(b.chunks) {
+		head := b.chunks[b.head]
 		n := copy(p[read:], head[b.headOff:])
 		b.headOff += n
 		read += n
 		if b.headOff == len(head) {
-			b.chunks[0] = nil
-			b.chunks = b.chunks[1:]
+			b.chunks[b.head] = nil
+			b.head++
 			b.headOff = 0
 		}
 	}
@@ -174,7 +192,7 @@ func (b *recvBuffer) Read(p []byte) int {
 func (b *recvBuffer) Peek(p []byte) int {
 	read := 0
 	off := b.headOff
-	for i := 0; read < len(p) && i < len(b.chunks); i++ {
+	for i := b.head; read < len(p) && i < len(b.chunks); i++ {
 		head := b.chunks[i]
 		n := copy(p[read:], head[off:])
 		read += n

@@ -165,3 +165,25 @@ func TestPropertyRecvBufferFIFO(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRecvBufferCompactsUnderBacklog: a connection that never fully
+// drains (fast sender, slow reader) must not grow a dead-slot prefix —
+// the chunk array stays proportional to the live backlog.
+func TestRecvBufferCompactsUnderBacklog(t *testing.T) {
+	var b recvBuffer
+	payload := make([]byte, 1000)
+	for i := 0; i < 50000; i++ {
+		b.Push(payload)
+		if i%2 == 1 {
+			b.Discard(1500) // consume less than was pushed: backlog grows
+		}
+	}
+	live := len(b.chunks) - b.head
+	if cap(b.chunks) > 4*live+64 {
+		t.Fatalf("chunk array cap %d for %d live chunks: dead prefix not compacted", cap(b.chunks), live)
+	}
+	// FIFO integrity survives compaction.
+	if b.Len() != 50000*1000-25000*1500 {
+		t.Fatalf("buffered = %d", b.Len())
+	}
+}

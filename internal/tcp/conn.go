@@ -256,39 +256,37 @@ func (c *Conn) advWindow() int {
 func (c *Conn) mkSegment(flags uint8, off int64, payload []byte, payloadLen int) *packet.Segment {
 	w := c.advWindow()
 	c.lastAdvW = w
-	return &packet.Segment{
-		Flow:       packet.Flow{Src: c.local, Dst: c.peer},
-		Seq:        c.seqOf(off),
-		Ack:        c.ackOf(),
-		Flags:      flags,
-		Window:     w,
-		Payload:    payload,
-		PayloadLen: payloadLen,
-	}
+	seg := c.host.newSeg()
+	seg.Flow = packet.Flow{Src: c.local, Dst: c.peer}
+	seg.Seq = c.seqOf(off)
+	seg.Ack = c.ackOf()
+	seg.Flags = flags
+	seg.Window = w
+	seg.Payload = payload
+	seg.PayloadLen = payloadLen
+	return seg
 }
 
 // ---- Connection establishment ----
 
 func (c *Conn) sendSYN() {
 	c.synSentAt = c.host.sch.Now()
-	seg := &packet.Segment{
-		Flow:   packet.Flow{Src: c.local, Dst: c.peer},
-		Seq:    c.iss,
-		Flags:  packet.FlagSYN,
-		Window: c.advWindow(),
-	}
+	seg := c.host.newSeg()
+	seg.Flow = packet.Flow{Src: c.local, Dst: c.peer}
+	seg.Seq = c.iss
+	seg.Flags = packet.FlagSYN
+	seg.Window = c.advWindow()
 	c.host.send(seg)
 	c.armSYNTimer()
 }
 
 func (c *Conn) sendSYNACK() {
-	seg := &packet.Segment{
-		Flow:   packet.Flow{Src: c.local, Dst: c.peer},
-		Seq:    c.iss,
-		Ack:    c.irs + 1,
-		Flags:  packet.FlagSYN | packet.FlagACK,
-		Window: c.advWindow(),
-	}
+	seg := c.host.newSeg()
+	seg.Flow = packet.Flow{Src: c.local, Dst: c.peer}
+	seg.Seq = c.iss
+	seg.Ack = c.irs + 1
+	seg.Flags = packet.FlagSYN | packet.FlagACK
+	seg.Window = c.advWindow()
 	c.host.send(seg)
 	c.armSYNTimer()
 }
@@ -326,13 +324,13 @@ func (c *Conn) deliver(seg *packet.Segment) {
 					c.cb.OnRemoteClose()
 				}
 			}
-			c.host.send(&packet.Segment{
-				Flow:   packet.Flow{Src: c.local, Dst: c.peer},
-				Seq:    c.seqOf(c.sndNxt),
-				Ack:    c.ackOf(),
-				Flags:  packet.FlagACK,
-				Window: c.advWindow(),
-			})
+			reply := c.host.newSeg()
+			reply.Flow = packet.Flow{Src: c.local, Dst: c.peer}
+			reply.Seq = c.seqOf(c.sndNxt)
+			reply.Ack = c.ackOf()
+			reply.Flags = packet.FlagACK
+			reply.Window = c.advWindow()
+			c.host.send(reply)
 		}
 		return
 	}
@@ -782,6 +780,7 @@ func (c *Conn) processData(seg *packet.Segment) {
 				if next.HasFlag(packet.FlagFIN) {
 					fin = true
 				}
+				c.host.putSeg(next) // drained: only the payload lives on
 			}
 		}
 		if fin && complete && !c.remoteFin {
@@ -800,6 +799,7 @@ func (c *Conn) processData(seg *packet.Segment) {
 		// Out of order: hold (bounded) and send an immediate dup ACK.
 		if len(c.ooo) < 4096 {
 			c.ooo[segOff] = seg
+			c.host.retained = true // survives Deliver; recycled on drain
 		}
 		c.sendAck()
 	}

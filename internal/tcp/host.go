@@ -19,6 +19,12 @@ type Host struct {
 	listeners map[uint16]listener
 	nextPort  uint16
 	nextISS   uint32
+
+	// Segment pooling (streaming-capture sessions only; see
+	// SetSegmentPool). retained marks the in-delivery segment as held
+	// beyond Deliver (out-of-order queue).
+	pool     *packet.Pool
+	retained bool
 }
 
 type listener struct {
@@ -43,6 +49,31 @@ func (h *Host) Addr() packet.Endpoint { return packet.Endpoint{Addr: h.addr} }
 
 // SetLink wires the egress link (toward the peer side of the path).
 func (h *Host) SetLink(l *netem.Link) { h.out = l }
+
+// SetSegmentPool enables segment recycling: outbound segments are
+// allocated from p and inbound ones returned to it once consumed.
+// Only valid when every capture sink on the path is streaming (reads
+// packets synchronously at the tap) — a buffering sink like
+// trace.Trace retains segment pointers and must run without a pool.
+// Both ends of a path should share one pool; the simulation is
+// single-threaded, so the pool needs no locking.
+func (h *Host) SetSegmentPool(p *packet.Pool) { h.pool = p }
+
+// newSeg allocates an outbound segment, reusing a pooled one when
+// recycling is enabled. All fields are zero.
+func (h *Host) newSeg() *packet.Segment {
+	if h.pool != nil {
+		return h.pool.Get()
+	}
+	return &packet.Segment{}
+}
+
+// putSeg recycles a fully consumed inbound segment.
+func (h *Host) putSeg(s *packet.Segment) {
+	if h.pool != nil {
+		h.pool.Put(s)
+	}
+}
 
 // Scheduler exposes the event loop for applications built on the host.
 func (h *Host) Scheduler() *sim.Scheduler { return h.sch }
@@ -99,8 +130,18 @@ func (h *Host) iss() uint32 {
 }
 
 // Deliver implements netem.Receiver: demultiplex to an existing
-// connection, or to a listener for new SYNs.
+// connection, or to a listener for new SYNs. With a segment pool
+// attached, the segment is recycled afterwards unless the connection
+// parked it in its out-of-order queue.
 func (h *Host) Deliver(seg *packet.Segment) {
+	h.retained = false
+	h.dispatch(seg)
+	if h.pool != nil && !h.retained {
+		h.pool.Put(seg)
+	}
+}
+
+func (h *Host) dispatch(seg *packet.Segment) {
 	key := seg.Flow.Reverse()
 	if c, ok := h.conns[key]; ok {
 		c.deliver(seg)

@@ -2,7 +2,8 @@
 // observed at the client vantage point (like tcpdump in the paper's
 // methodology) and offers flow-level views plus TCP payload
 // reassembly, so internal/analysis can recompute the paper's metrics
-// from the captured segments alone.
+// from the captured segments alone. Trace is the buffering Sink; see
+// sink.go for the streaming counterparts that avoid holding packets.
 package trace
 
 import (
@@ -38,26 +39,79 @@ type Record struct {
 	Seg *packet.Segment
 }
 
-// Trace is an append-only capture. It implements the two netem.Tap
-// halves via Tap.
+// Trace is an append-only capture: the Sink that buffers everything,
+// retained for pcap export and offline flow inspection. Flow-level
+// accessors are backed by an incrementally built per-flow index, so
+// repeated Flows/FlowRecords/DownBytes calls do not rescan Records.
 type Trace struct {
 	Records []Record
+	idx     flowIndex
 }
+
+// flowIndex accelerates the flow-level accessors. It is (re)built
+// lazily: records appended since the last accessor call are folded in,
+// and a shrunken Records slice triggers a full rebuild.
+type flowIndex struct {
+	n         int // Records[:n] have been indexed
+	flows     []packet.Flow
+	byFlow    map[packet.Flow]*flowLists
+	downBytes int64
+}
+
+// flowLists holds the record indices of one Down flow and its reverse.
+type flowLists struct {
+	down, up []int32
+}
+
+func (t *Trace) reindex() {
+	if t.idx.n > len(t.Records) {
+		t.idx = flowIndex{} // Records were truncated; start over
+	}
+	if t.idx.byFlow == nil {
+		t.idx.byFlow = make(map[packet.Flow]*flowLists)
+	}
+	for i := t.idx.n; i < len(t.Records); i++ {
+		r := t.Records[i]
+		if r.Dir == Down {
+			f := r.Seg.Flow
+			l := t.idx.byFlow[f]
+			if l == nil {
+				l = &flowLists{}
+				t.idx.byFlow[f] = l
+			}
+			if len(l.down) == 0 {
+				// First Down record of the flow (its reverse may have
+				// been indexed already): enters the first-seen order.
+				t.idx.flows = append(t.idx.flows, f)
+			}
+			l.down = append(l.down, int32(i))
+			t.idx.downBytes += int64(r.Seg.Len())
+			continue
+		}
+		// Up records are indexed under the Down flow they acknowledge.
+		f := r.Seg.Flow.Reverse()
+		l := t.idx.byFlow[f]
+		if l == nil {
+			l = &flowLists{}
+			t.idx.byFlow[f] = l
+			// Not appended to flows: Flows() lists Down flows only.
+		}
+		l.up = append(l.up, int32(i))
+	}
+	t.idx.n = len(t.Records)
+}
+
+// Capture implements Sink: it appends one record.
+func (t *Trace) Capture(at time.Duration, d Dir, seg *packet.Segment) {
+	t.Records = append(t.Records, Record{TS: at, Dir: d, Seg: seg})
+}
+
+// Close implements Sink.
+func (t *Trace) Close() error { return nil }
 
 // Tap returns a capture tap for the given direction, to be attached to
 // the corresponding netem link.
-func (t *Trace) Tap(d Dir) TapDir { return TapDir{t: t, d: d} }
-
-// TapDir adapts Trace to netem.Tap for one direction.
-type TapDir struct {
-	t *Trace
-	d Dir
-}
-
-// Capture implements netem.Tap.
-func (td TapDir) Capture(at time.Duration, seg *packet.Segment) {
-	td.t.Records = append(td.t.Records, Record{TS: at, Dir: td.d, Seg: seg})
-}
+func (t *Trace) Tap(d Dir) TapDir { return SinkTap(t, d) }
 
 // Len returns the number of captured packets.
 func (t *Trace) Len() int { return len(t.Records) }
@@ -72,43 +126,39 @@ func (t *Trace) Duration() time.Duration {
 
 // DownBytes sums payload bytes in the Down direction.
 func (t *Trace) DownBytes() int64 {
-	var n int64
-	for _, r := range t.Records {
-		if r.Dir == Down {
-			n += int64(r.Seg.Len())
-		}
-	}
-	return n
+	t.reindex()
+	return t.idx.downBytes
 }
 
 // Flows returns the distinct Down-direction flows in first-seen order.
 func (t *Trace) Flows() []packet.Flow {
-	seen := map[packet.Flow]bool{}
-	var out []packet.Flow
-	for _, r := range t.Records {
-		if r.Dir != Down {
-			continue
-		}
-		if !seen[r.Seg.Flow] {
-			seen[r.Seg.Flow] = true
-			out = append(out, r.Seg.Flow)
-		}
+	t.reindex()
+	if len(t.idx.flows) == 0 {
+		return nil
 	}
+	out := make([]packet.Flow, len(t.idx.flows))
+	copy(out, t.idx.flows)
 	return out
 }
 
 // FlowRecords returns the records of one Down flow (data) or its
 // reverse (acks), in capture order.
 func (t *Trace) FlowRecords(f packet.Flow, d Dir) []Record {
-	var out []Record
-	rev := f.Reverse()
-	for _, r := range t.Records {
-		if r.Dir != d {
-			continue
-		}
-		if d == Down && r.Seg.Flow == f || d == Up && r.Seg.Flow == rev {
-			out = append(out, r)
-		}
+	t.reindex()
+	l := t.idx.byFlow[f]
+	if l == nil {
+		return nil
+	}
+	ids := l.down
+	if d == Up {
+		ids = l.up
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]Record, len(ids))
+	for i, id := range ids {
+		out[i] = t.Records[id]
 	}
 	return out
 }
@@ -131,29 +181,11 @@ func (t *Trace) WritePcap(w io.Writer, snaplen int) error {
 // IP linktype). clientAddr identifies the measurement vantage point so
 // directions can be restored.
 func ReadPcap(r io.Reader, clientAddr [4]byte) (*Trace, error) {
-	pr, err := pcap.NewReader(r)
-	if err != nil {
+	t := &Trace{}
+	if err := StreamPcap(r, clientAddr, t); err != nil {
 		return nil, err
 	}
-	t := &Trace{}
-	for {
-		rec, err := pr.Next()
-		if err == io.EOF {
-			return t, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		seg, err := packet.Parse(rec.Data)
-		if err != nil {
-			continue // non-TCP noise in a real capture
-		}
-		d := Up
-		if seg.Dst.Addr == clientAddr {
-			d = Down
-		}
-		t.Records = append(t.Records, Record{TS: rec.TS, Dir: d, Seg: seg})
-	}
+	return t, nil
 }
 
 // Reassemble rebuilds the in-order payload byte stream of one Down
@@ -170,10 +202,7 @@ func (t *Trace) Reassemble(f packet.Flow, maxBytes int) []byte {
 	var pieces []piece
 	var base uint32
 	haveBase := false
-	for _, r := range t.Records {
-		if r.Dir != Down || r.Seg.Flow != f {
-			continue
-		}
+	for _, r := range t.FlowRecords(f, Down) {
 		if r.Seg.HasFlag(packet.FlagSYN) {
 			base = r.Seg.Seq + 1
 			haveBase = true
