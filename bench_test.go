@@ -19,6 +19,8 @@ import (
 	"repro/internal/media"
 	"repro/internal/netem"
 	"repro/internal/player"
+	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/session"
 )
 
@@ -251,5 +253,33 @@ func BenchmarkScenarioFlashCrowd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := experiments.ScenarioFlashCrowd(benchOpts())
 		emit(b, &res.Artifact)
+	}
+}
+
+// BenchmarkFleet tracks the fleet engine's scaling law: a mixed
+// Short/No ON-OFF fleet on the multi-tier tree at growing client
+// counts, fixed 30 s horizon. The claim under test is the memory
+// regime — B/op must grow ~linearly with the client count (per-client
+// slim state, sketches and fixed-width bins), never with the packet
+// count. ns/op grows with carried traffic, which is client-linear
+// here too.
+func BenchmarkFleet(b *testing.B) {
+	for _, clients := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			f := scenario.Fleet{
+				Mix:      []scenario.MixEntry{{Player: scenario.Flash, Weight: 1}, {Player: scenario.FirefoxHtml5, Weight: 1}},
+				Clients:  clients,
+				Duration: 30 * time.Second,
+				Arrival:  scenario.Arrival{Kind: scenario.Staggered, Window: 10 * time.Second},
+				Seed:     7,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := scenario.RunFleet(runner.Options{Workers: 1}, f)
+				if i == 0 {
+					b.ReportMetric(float64(res.CoreOffered)/float64(clients), "pkts/client")
+				}
+			}
+		})
 	}
 }

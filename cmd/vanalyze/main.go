@@ -49,28 +49,43 @@ func main() {
 		KnownDuration: time.Duration(*duration * float64(time.Second)),
 		KnownRate:     *rate * 1e6,
 	}
-	// The re-export rides the same packet stream as the analyzer via
-	// the Trace sink — one read of the input, two consumers.
+	// The re-export rides the same packet stream as the analyzer via a
+	// live PcapSink — one read of the input, two consumers, O(1)
+	// memory even for multi-GB captures.
 	var extra []trace.Sink
-	var tr *trace.Trace
+	var ps *trace.PcapSink
+	var out *os.File
+	tmpOut := *pcapOut + ".tmp"
 	if *pcapOut != "" {
-		tr = &trace.Trace{}
-		extra = append(extra, tr)
-	}
-	a, err := core.ClassifyPcapStream(f, addr, cfg, extra...)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	if tr != nil {
-		out, err := os.Create(*pcapOut)
+		// Stream into a temp file and rename only after a successful
+		// run, so a malformed input never truncates a previous export.
+		out, err = os.Create(tmpOut)
 		if err != nil {
 			fatalf("creating pcap: %v", err)
 		}
-		if err := tr.WritePcap(out, 0); err != nil {
+		ps, err = trace.NewPcapSink(out, 0)
+		if err != nil {
+			fatalf("starting pcap stream: %v", err)
+		}
+		extra = append(extra, ps)
+	}
+	a, err := core.ClassifyPcapStream(f, addr, cfg, extra...)
+	if err != nil {
+		if out != nil {
+			out.Close()
+			os.Remove(tmpOut)
+		}
+		fatalf("%v", err)
+	}
+	if ps != nil {
+		if err := ps.Close(); err != nil {
 			fatalf("writing pcap: %v", err)
 		}
 		if err := out.Close(); err != nil {
 			fatalf("closing pcap: %v", err)
+		}
+		if err := os.Rename(tmpOut, *pcapOut); err != nil {
+			fatalf("finalizing pcap: %v", err)
 		}
 	}
 	fmt.Printf("strategy          : %s\n", a.Strategy)

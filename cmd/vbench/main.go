@@ -46,7 +46,11 @@ type Report struct {
 
 // benchLine matches `BenchmarkName-8  3  41330152 ns/op  17964480 B/op  332352 allocs/op`
 // (the -8 GOMAXPROCS suffix and the memory columns are optional).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// benchHead matches the name and iteration count; the measurement
+// columns after it are `<value> <unit>` pairs parsed by field walk,
+// so custom b.ReportMetric units (e.g. `pkts/client`) pass through
+// without confusing the ns/op, B/op and allocs/op extraction.
+var benchHead = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)((?:\s+[\d.]+ \S+)+)\s*$`)
 
 func parse(r io.Reader, echo io.Writer) []Result {
 	out := []Result{} // never nil, so the JSON field is [] not null
@@ -57,18 +61,22 @@ func parse(r io.Reader, echo io.Writer) []Result {
 		if echo != nil {
 			fmt.Fprintln(echo, line)
 		}
-		m := benchLine.FindStringSubmatch(line)
+		m := benchHead.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
 		res := Result{Name: m[1]}
 		res.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		res.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			res.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-		}
-		if m[5] != "" {
-			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		cols := strings.Fields(m[3])
+		for i := 0; i+1 < len(cols); i += 2 {
+			switch cols[i+1] {
+			case "ns/op":
+				res.NsPerOp, _ = strconv.ParseFloat(cols[i], 64)
+			case "B/op":
+				res.BytesPerOp, _ = strconv.ParseInt(cols[i], 10, 64)
+			case "allocs/op":
+				res.AllocsPerOp, _ = strconv.ParseInt(cols[i], 10, 64)
+			}
 		}
 		out = append(out, res)
 	}

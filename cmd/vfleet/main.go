@@ -1,0 +1,104 @@
+// Command vfleet runs a fleet-scale simulation: hundreds to thousands
+// of concurrent streaming sessions of a strategy mix on the
+// multi-tier tree topology (per-client access links → shared
+// aggregation links → one core uplink), reporting streaming aggregate
+// statistics — per-tier utilization, per-client QoE quantiles, and
+// the aggregation-link burstiness the paper's closing argument is
+// about. Memory is O(clients), never O(packets), and results are
+// bit-identical for any -workers value.
+//
+// Usage:
+//
+//	vfleet -clients 1000 -mix flash:1+firefox:1 -duration 120
+//	vfleet -clients 256 -mix chrome -arrival poisson -series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+)
+
+func main() {
+	clients := flag.Int("clients", 256, "concurrent sessions")
+	mix := flag.String("mix", "flash:1+firefox:1", "strategy mix, e.g. flash:2+firefox:1 (see -players)")
+	duration := flag.Float64("duration", 120, "horizon seconds")
+	warmup := flag.Float64("warmup", 0, "statistics warm-up seconds (0 = duration/4)")
+	seed := flag.Int64("seed", 1, "random seed")
+	shards := flag.Int("shards", 1, "independent tree shards (statistics merge deterministically)")
+	workers := flag.Int("workers", 0, "shard worker pool (0 = one per CPU); results identical for any value")
+	perAgg := flag.Int("peragg", 0, "clients per aggregation link (0 = 32)")
+	bin := flag.Float64("bin", 1, "utilization bin seconds")
+	arrival := flag.String("arrival", "staggered", "arrival process: all-at-once, staggered, poisson, flash-crowd")
+	window := flag.Float64("window", 30, "arrival window seconds")
+	accessDown := flag.Float64("access-down", 0, "access down-link Mbps (0 = 6)")
+	aggDown := flag.Float64("agg-down", 0, "aggregation down-link Mbps (0 = 200)")
+	coreDown := flag.Float64("core-down", 0, "core down-link Mbps (0 = 2000)")
+	series := flag.Bool("series", false, "print the per-bin core/agg utilization and concurrency series")
+	players := flag.Bool("players", false, "list player kind names and exit")
+	flag.Parse()
+
+	if *players {
+		for _, k := range scenario.PlayerKinds() {
+			fmt.Printf("%-16s (%s)\n", k, k.Service())
+		}
+		return
+	}
+	entries, err := scenario.ParseMix(*mix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vfleet:", err)
+		os.Exit(1)
+	}
+	var kind scenario.ArrivalKind
+	switch *arrival {
+	case "all-at-once":
+		kind = scenario.AllAtOnce
+	case "staggered":
+		kind = scenario.Staggered
+	case "poisson":
+		kind = scenario.Poisson
+	case "flash-crowd":
+		kind = scenario.FlashCrowd
+	default:
+		fmt.Fprintf(os.Stderr, "vfleet: unknown arrival %q\n", *arrival)
+		os.Exit(1)
+	}
+	f := scenario.Fleet{
+		Mix:      entries,
+		Clients:  *clients,
+		Duration: time.Duration(*duration * float64(time.Second)),
+		Warmup:   time.Duration(*warmup * float64(time.Second)),
+		Seed:     *seed,
+		Shards:   *shards,
+		UtilBin:  time.Duration(*bin * float64(time.Second)),
+		Arrival:  scenario.Arrival{Kind: kind, Window: time.Duration(*window * float64(time.Second))},
+	}
+	f.Tree.ClientsPerAgg = *perAgg
+	f.Tree.Access.Down = netem.Bandwidth(*accessDown) * netem.Mbps
+	f.Tree.Agg.Down = netem.Bandwidth(*aggDown) * netem.Mbps
+	f.Tree.Core.Down = netem.Bandwidth(*coreDown) * netem.Mbps
+	if err := f.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "vfleet:", err)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	res := scenario.RunFleet(runner.Options{Workers: *workers}, f)
+	fmt.Print(res.Render())
+	if *series {
+		fmt.Printf("\n# %-8s %-12s %-12s %-12s\n", "bin s", "core Mbps", "agg Mbps", "concurrent")
+		core := res.CoreUtil.PerSecond()
+		agg := res.AggUtil.PerSecond()
+		conc := res.Concurrency()
+		for i := range core {
+			fmt.Printf("%-10.1f %-12.2f %-12.2f %-12.0f\n",
+				float64(i)*res.CoreUtil.Width.Seconds(), core[i]*8/1e6, agg[i]*8/1e6, conc[i])
+		}
+	}
+	fmt.Printf("[fleet completed in %v]\n", time.Since(start).Round(time.Millisecond))
+}

@@ -52,6 +52,9 @@ var registry = map[string]runner{
 	"scenario-flashcrowd": func(o experiments.Options) string {
 		return experiments.ScenarioFlashCrowd(o).Artifact.String()
 	},
+	"fleet-burstiness": func(o experiments.Options) string {
+		return experiments.AggregateBurstiness(o).Artifact.String()
+	},
 }
 
 // order fixes the presentation sequence for -exp all.
@@ -59,7 +62,7 @@ var order = []string{
 	"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 	"fig8", "fig9", "fig9-idlereset", "fig10", "fig11", "fig12",
 	"table2", "model-agg", "model-smooth", "model-interrupt", "model-waste",
-	"scenario-ratedrop", "scenario-flashcrowd",
+	"scenario-ratedrop", "scenario-flashcrowd", "fleet-burstiness",
 }
 
 func main() {

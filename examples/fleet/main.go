@@ -1,0 +1,76 @@
+// Fleet walkthrough: 1,000 concurrent streaming sessions of a mixed
+// strategy fleet (half Short ON-OFF Flash, half No ON-OFF Firefox) on
+// the multi-tier tree topology — per-client access links feeding
+// shared aggregation links feeding one core uplink, the shape at
+// which the paper argues streaming strategies matter in aggregate.
+//
+// Everything reported is a streaming aggregate statistic: per-client
+// QoE quantiles come from mergeable sketches, per-tier utilization
+// from fixed-width bins. Memory stays O(clients) no matter how many
+// packets flow, and the result is bit-identical for any worker count.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/scenario"
+)
+
+func main() {
+	f := scenario.Fleet{
+		Mix: []scenario.MixEntry{
+			{Player: scenario.Flash, Weight: 1},        // Short ON-OFF
+			{Player: scenario.FirefoxHtml5, Weight: 1}, // No ON-OFF
+		},
+		Clients:  1000,
+		Duration: 60 * time.Second,
+		Warmup:   20 * time.Second,
+		Arrival:  scenario.Arrival{Kind: scenario.Staggered, Window: 15 * time.Second},
+		Seed:     42,
+		// Four shards: the fleet is partitioned across four identical
+		// trees simulated in parallel; the sketches and binned series
+		// merge deterministically, so the artifact does not depend on
+		// the worker count (or on having more than one CPU).
+		Shards:  4,
+		UtilBin: time.Second,
+	}
+
+	fmt.Println("=== fleet: 1,000 mixed-strategy sessions on a multi-tier tree ===")
+	start := time.Now()
+	res := scenario.RunFleet(runner.Options{}, f)
+	fmt.Print(res.Render())
+
+	fmt.Println()
+	fmt.Println("per-tier downstream utilization (Mbps per link, 10 s means):")
+	fmt.Printf("%-8s %-10s %-10s %-10s %-10s\n", "t", "core", "agg", "access", "active")
+	core := res.CoreUtil.PerSecond()
+	agg := res.AggUtil.PerSecond()
+	access := res.AccessUtil.PerSecond()
+	conc := res.Concurrency()
+	step := 10
+	for i := 0; i+step <= len(core); i += step {
+		var c, a, ac, n float64
+		for j := i; j < i+step; j++ {
+			c += core[j]
+			a += agg[j]
+			ac += access[j]
+			n += conc[j]
+		}
+		c, a, ac, n = c/float64(step), a/float64(step), ac/float64(step), n/float64(step)
+		fmt.Printf("%-8s %-10.1f %-10.1f %-10.2f %-10.0f\n",
+			fmt.Sprintf("%ds", i),
+			c*8/1e6/float64(f.Shards),
+			a*8/1e6/float64(res.Groups),
+			ac*8/1e6/float64(res.Clients),
+			n)
+	}
+
+	fmt.Println()
+	fmt.Printf("the ON-OFF half of the mix shows up as aggregation-link burstiness: CV p50 %.3f, peak/mean high bins\n",
+		res.AggBurst.Quantile(0.5))
+	fmt.Printf("[1,000 clients simulated in %v]\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// The fleet experiment family runs the paper's closing argument at
+// its native scale: streaming strategies matter in *aggregate*,
+// because thousands of concurrent ON-OFF sources synchronize into
+// bursts exactly at the aggregation tier an ISP provisions. A fleet
+// of clients on the multi-tier tree (access → aggregation → core)
+// produces streaming aggregate statistics only, so the experiment
+// scales in clients, not packets.
+
+// BurstinessRow is one strategy mix's aggregation-tier outcome.
+type BurstinessRow struct {
+	Mix         string
+	Clients     int
+	MeanAggMbps float64 // mean per-aggregation-link load, post-warmup
+	AggCV       float64 // median per-agg-link burstiness (CV of binned rate)
+	AggP90CV    float64
+	CoreCV      float64
+	PeakToMean  float64 // aggregation tier peak-to-mean ratio
+	CoreLoss    float64
+	RateP50Mbps float64 // per-client goodput median
+}
+
+// AggregateBurstinessResult is the mix sweep.
+type AggregateBurstinessResult struct {
+	Rows     []BurstinessRow
+	Artifact Artifact
+	// TargetMbps is the per-aggregation-link load every row offers.
+	TargetMbps float64
+}
+
+// Long-run per-client downstream wire rates used to size rows to
+// equal mean load: a No ON-OFF (Firefox) client bulk downloads at its
+// access-link rate for as long as content remains; a Short ON-OFF
+// (Flash) client averages the server's block pacing (measured steady
+// wire rate of the 1.75 Mbps default video, headers included — see
+// the fleet probe in the PR notes, ~3.2 Mbps).
+const (
+	fleetEncodingRate  = 1.75e6 // bps, the 360p default
+	shortOnOffPerMbps  = 3.2
+	noOnOffPerMbps     = 6.0 // the default tree's access down-link rate
+	burstTargetAggMbps = 64  // offered load per 200 Mbps aggregation link
+)
+
+// burstMix is one row's configuration.
+type burstMix struct {
+	label     string
+	mix       []scenario.MixEntry
+	perClient float64 // estimated long-run Mbps per client
+}
+
+// AggregateBurstiness shifts a fleet's strategy mix from No ON-OFF to
+// Short ON-OFF while holding the offered aggregation-link load fixed:
+// each row's client count is sized from the strategy's long-run
+// per-client rate, so the tier carries the same mean Mbps and only
+// the traffic's shape changes. The paper's aggregate claim is that
+// the Short ON-OFF end of the sweep is the burstier one — more
+// clients, each duty-cycling through ON bursts at access speed,
+// synchronize into spikes a continuous No ON-OFF fleet never shows.
+func AggregateBurstiness(o Options) *AggregateBurstinessResult {
+	o = o.withDefaults()
+	res := &AggregateBurstinessResult{
+		TargetMbps: burstTargetAggMbps,
+		Artifact:   Artifact{Title: "Extension: strategy mix vs aggregation-link burstiness at equal mean load"},
+	}
+	// o.N scales the topology width (aggregation links per row), not
+	// the per-link load: N=8 default → 2 aggregation groups.
+	groups := o.N / 4
+	if groups < 1 {
+		groups = 1
+	}
+	mixes := []burstMix{
+		{"No ON-OFF (firefox)", []scenario.MixEntry{{Player: scenario.FirefoxHtml5, Weight: 1}}, noOnOffPerMbps},
+		{"50/50 mix", []scenario.MixEntry{{Player: scenario.Flash, Weight: 1}, {Player: scenario.FirefoxHtml5, Weight: 1}},
+			(shortOnOffPerMbps + noOnOffPerMbps) / 2},
+		{"Short ON-OFF (flash)", []scenario.MixEntry{{Player: scenario.Flash, Weight: 1}}, shortOnOffPerMbps},
+	}
+	warmup := o.Duration * 2 / 5
+	res.Artifact.Addf("%d x 200 Mbps aggregation links, %.0f Mbps offered per link, %v horizon (%v warmup), 250 ms bins",
+		groups, res.TargetMbps, o.Duration, warmup)
+	res.Artifact.Addf("%-22s %-8s %-12s %-18s %-10s %-10s", "mix", "clients", "agg Mbps", "agg CV p50 (p90)", "peak/mean", "rate p50")
+	res.Rows = make([]BurstinessRow, len(mixes))
+	for i, m := range mixes {
+		perAgg := int(burstTargetAggMbps/m.perClient + 0.5)
+		f := scenario.Fleet{
+			Name:     m.label,
+			Mix:      m.mix,
+			Clients:  groups * perAgg,
+			Duration: o.Duration,
+			Warmup:   warmup,
+			UtilBin:  250 * time.Millisecond,
+			Arrival:  scenario.Arrival{Kind: scenario.Staggered, Window: o.Duration / 5},
+			Seed:     o.Seed + int64(i),
+			// A long video keeps every strategy active through the
+			// horizon: a No ON-OFF bulk download must not run out of
+			// content mid-measurement, or its idle tail would read as
+			// burstiness.
+			Video: media.Video{EncodingRate: fleetEncodingRate, Duration: 900 * time.Second, Resolution: "360p"},
+		}
+		f.Tree.ClientsPerAgg = perAgg
+		r := scenario.RunFleet(o.pool(), f)
+		res.Rows[i] = BurstinessRow{
+			Mix:         m.label,
+			Clients:     r.Clients,
+			MeanAggMbps: r.AggMbps(),
+			AggCV:       r.AggBurst.Quantile(0.5),
+			AggP90CV:    r.AggBurst.Quantile(0.9),
+			CoreCV:      r.CoreBurst.Quantile(0.5),
+			PeakToMean:  peakToMeanFrom(r),
+			CoreLoss:    r.InducedCoreLoss,
+			RateP50Mbps: r.RateMbps.Quantile(0.5),
+		}
+		row := res.Rows[i]
+		res.Artifact.Addf("%-22s %-8d %-12.1f %-18s %-10.2f %-10.2f",
+			row.Mix, row.Clients, row.MeanAggMbps,
+			fmt.Sprintf("%.3f (%.3f)", row.AggCV, row.AggP90CV),
+			row.PeakToMean, row.RateP50Mbps)
+	}
+	res.Artifact.Addf("equal mean load, different shape: ON-OFF duty cycles stack into aggregation-tier bursts")
+	return res
+}
+
+// peakToMeanFrom computes the aggregation tier's post-warmup
+// peak-to-mean ratio from the merged utilization series.
+func peakToMeanFrom(r *scenario.FleetResult) float64 {
+	return stats.PeakToMean(r.AggUtil.From(r.Fleet.Warmup))
+}

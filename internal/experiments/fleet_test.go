@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestAggregateBurstinessOrdering is the fleet acceptance criterion:
+// at equal mean aggregation-link load, shifting the strategy mix from
+// No ON-OFF toward Short ON-OFF must raise aggregation-link
+// burstiness.
+func TestAggregateBurstinessOrdering(t *testing.T) {
+	res := AggregateBurstiness(Options{N: 2, Seed: 1, Duration: 150 * time.Second})
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 mixes, got %d", len(res.Rows))
+	}
+	no, short := res.Rows[0], res.Rows[len(res.Rows)-1]
+
+	// Equal mean load: every row must offer the target within 15%.
+	for _, row := range res.Rows {
+		if math.Abs(row.MeanAggMbps-res.TargetMbps) > 0.15*res.TargetMbps {
+			t.Fatalf("%s: mean agg load %.1f Mbps, target %.1f — rows are not load-matched\n%s",
+				row.Mix, row.MeanAggMbps, res.TargetMbps, res.Artifact.String())
+		}
+		if row.CoreLoss > 0.01 {
+			t.Fatalf("%s: %.2f%% core loss — burstiness would be congestion, not strategy\n%s",
+				row.Mix, row.CoreLoss*100, res.Artifact.String())
+		}
+	}
+
+	// The paper's aggregate claim, with margin: the Short ON-OFF end
+	// must be clearly burstier than the No ON-OFF end.
+	if short.AggCV < 1.5*no.AggCV {
+		t.Fatalf("Short ON-OFF agg CV %.4f not > 1.5x No ON-OFF %.4f at equal load\n%s",
+			short.AggCV, no.AggCV, res.Artifact.String())
+	}
+	if short.PeakToMean <= no.PeakToMean {
+		t.Fatalf("Short ON-OFF peak/mean %.3f <= No ON-OFF %.3f\n%s",
+			short.PeakToMean, no.PeakToMean, res.Artifact.String())
+	}
+	// Mixing Short ON-OFF clients in must not make the fleet smoother
+	// than the pure No ON-OFF baseline.
+	if mid := res.Rows[1]; mid.AggCV <= no.AggCV {
+		t.Fatalf("50/50 mix agg CV %.4f <= No ON-OFF %.4f\n%s", mid.AggCV, no.AggCV, res.Artifact.String())
+	}
+}
+
+// TestAggregateBurstinessDeterministic: the artifact is byte-identical
+// for any worker count, like every other experiment.
+func TestAggregateBurstinessDeterministic(t *testing.T) {
+	o := Options{N: 1, Seed: 9, Duration: 60 * time.Second}
+	a := AggregateBurstiness(o)
+	o.Workers = runtime.NumCPU() + 2
+	b := AggregateBurstiness(o)
+	if a.Artifact.String() != b.Artifact.String() {
+		t.Fatalf("artifact differs across worker counts:\n%s\nvs\n%s", a.Artifact.String(), b.Artifact.String())
+	}
+}

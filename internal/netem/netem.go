@@ -264,6 +264,12 @@ func (l *Link) Send(seg *packet.Segment) {
 	l.sch.AtTask(arrive, d, opDeliver)
 }
 
+// Deliver implements Receiver by forwarding to Send, so links chain
+// into multi-hop paths: a packet leaving one tier's link enters the
+// next tier's queue, which is how the Tree topology stacks access,
+// aggregation and core hops.
+func (l *Link) Deliver(seg *packet.Segment) { l.Send(seg) }
+
 // Path is a bidirectional network between a client and a server,
 // composed of one link per direction. By the paper's conventions the
 // client is the measurement vantage point.

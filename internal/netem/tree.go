@@ -1,0 +1,180 @@
+package netem
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Tier describes one level of a Tree topology: the rates, one-way
+// propagation delay, queue depth and downstream loss its links get.
+// Upstream (ACK-direction) links of a tier are loss-free — exactly the
+// UpLoss<0 convention profiles use for asymmetric paths — because
+// upstream loss was never a reported artefact and fleet runs care
+// about downstream aggregation behaviour.
+type Tier struct {
+	Down, Up Bandwidth
+	Delay    time.Duration // one-way propagation per direction
+	Queue    int           // bytes of buffering per link per direction
+	Loss     float64       // downstream random loss per link
+}
+
+// TreeConfig sizes a Tree. The zero value yields a plausible ISP-ish
+// shape: 6/1 Mbps access links, 32 clients per 200 Mbps aggregation
+// link, and a 2 Gbps core uplink — enough headroom that burstiness,
+// not starvation, is what aggregation links exhibit.
+type TreeConfig struct {
+	Access Tier
+	Agg    Tier
+	Core   Tier
+	// ClientsPerAgg is how many access links share one aggregation
+	// link. Default 32.
+	ClientsPerAgg int
+}
+
+// WithDefaults fills zero fields with the default shape.
+func (c TreeConfig) WithDefaults() TreeConfig {
+	if c.ClientsPerAgg <= 0 {
+		c.ClientsPerAgg = 32
+	}
+	if c.Access.Down == 0 {
+		c.Access.Down = 6 * Mbps
+	}
+	if c.Access.Up == 0 {
+		c.Access.Up = 1 * Mbps
+	}
+	if c.Access.Delay == 0 {
+		c.Access.Delay = 2 * time.Millisecond
+	}
+	if c.Access.Queue == 0 {
+		c.Access.Queue = 64 << 10
+	}
+	if c.Agg.Down == 0 {
+		c.Agg.Down = 200 * Mbps
+	}
+	if c.Agg.Up == 0 {
+		c.Agg.Up = 200 * Mbps
+	}
+	if c.Agg.Delay == 0 {
+		c.Agg.Delay = 1 * time.Millisecond
+	}
+	if c.Agg.Queue == 0 {
+		c.Agg.Queue = 512 << 10
+	}
+	if c.Core.Down == 0 {
+		c.Core.Down = 2 * Gbps
+	}
+	if c.Core.Up == 0 {
+		c.Core.Up = 2 * Gbps
+	}
+	if c.Core.Delay == 0 {
+		c.Core.Delay = 5 * time.Millisecond
+	}
+	if c.Core.Queue == 0 {
+		c.Core.Queue = 4 << 20
+	}
+	return c
+}
+
+// BaseRTT returns the no-queueing round-trip time of the full tree
+// path (twice the summed one-way delays).
+func (c TreeConfig) BaseRTT() time.Duration {
+	return 2 * (c.Access.Delay + c.Agg.Delay + c.Core.Delay)
+}
+
+// Tree is the fleet-scale multi-tier topology: every client sits
+// behind its own access link, groups of ClientsPerAgg access links
+// share one aggregation link, and all aggregation links share one
+// core uplink to the server — the shape at which the paper argues
+// streaming strategies matter in aggregate, because thousands of
+// ON-OFF sources synchronize into bursts precisely at the aggregation
+// and core tiers.
+//
+// Downstream a packet takes core → aggregation(group) → access(client);
+// upstream the reverse. Every hop is an ordinary Link, so capture taps
+// (Link.AddTap) and Dynamics timelines attach at any tier.
+type Tree struct {
+	// CoreDown and CoreUp are the shared core links (server side).
+	CoreDown, CoreUp *Link
+	// AggDown and AggUp are the per-group aggregation links, indexed
+	// by group; they grow as clients attach.
+	AggDown, AggUp []*Link
+	// AccessDown and AccessUp are the per-client last-mile links,
+	// indexed by attach order.
+	AccessDown, AccessUp []*Link
+
+	cfg     TreeConfig
+	sch     *sim.Scheduler
+	coreSW  *Switch   // routes client addresses to their agg down link
+	groupSW []*Switch // routes client addresses to their access down link
+}
+
+// NewTree builds the core tier; aggregation and access links are
+// created on demand by Attach. The server receives everything sent up
+// the core; it must transmit on CoreDown (server.SetLink(t.CoreDown)).
+func NewTree(sch *sim.Scheduler, cfg TreeConfig, server Receiver) *Tree {
+	cfg = cfg.WithDefaults()
+	t := &Tree{cfg: cfg, sch: sch, coreSW: NewSwitch()}
+	t.CoreDown = NewLink(sch, cfg.Core.Down, cfg.Core.Delay, cfg.Core.Queue, RandomLoss{Rate: cfg.Core.Loss}, t.coreSW)
+	t.CoreUp = NewLink(sch, cfg.Core.Up, cfg.Core.Delay, cfg.Core.Queue, nil, server)
+	return t
+}
+
+// Config returns the effective (defaulted) configuration.
+func (t *Tree) Config() TreeConfig { return t.cfg }
+
+// Clients returns how many clients have been attached.
+func (t *Tree) Clients() int { return len(t.AccessDown) }
+
+// Groups returns how many aggregation links exist so far.
+func (t *Tree) Groups() int { return len(t.AggDown) }
+
+// Group returns the aggregation group of client i (attach order).
+func (t *Tree) Group(i int) int { return i / t.cfg.ClientsPerAgg }
+
+// Attach wires a new client under the tree: it creates the client's
+// access link pair, lazily creates the aggregation group it falls
+// into (attach order fills groups sequentially, ClientsPerAgg at a
+// time), routes the address at both switch levels, and returns the
+// access uplink the client must transmit on (client.SetLink).
+func (t *Tree) Attach(addr [4]byte, client Receiver) *Link {
+	g := t.Group(len(t.AccessDown))
+	if g == len(t.AggDown) {
+		gsw := NewSwitch()
+		aggDown := NewLink(t.sch, t.cfg.Agg.Down, t.cfg.Agg.Delay, t.cfg.Agg.Queue, RandomLoss{Rate: t.cfg.Agg.Loss}, gsw)
+		aggUp := NewLink(t.sch, t.cfg.Agg.Up, t.cfg.Agg.Delay, t.cfg.Agg.Queue, nil, t.CoreUp)
+		t.groupSW = append(t.groupSW, gsw)
+		t.AggDown = append(t.AggDown, aggDown)
+		t.AggUp = append(t.AggUp, aggUp)
+	}
+	accessDown := NewLink(t.sch, t.cfg.Access.Down, t.cfg.Access.Delay, t.cfg.Access.Queue, RandomLoss{Rate: t.cfg.Access.Loss}, client)
+	accessUp := NewLink(t.sch, t.cfg.Access.Up, t.cfg.Access.Delay, t.cfg.Access.Queue, nil, t.AggUp[g])
+	t.AccessDown = append(t.AccessDown, accessDown)
+	t.AccessUp = append(t.AccessUp, accessUp)
+	t.groupSW[g].Route(addr, accessDown)
+	t.coreSW.Route(addr, t.AggDown[g])
+	return accessUp
+}
+
+// Unrouted sums the unrouted-packet counters across every switch in
+// the tree (0 in a healthy run).
+func (t *Tree) Unrouted() int {
+	n := t.coreSW.Unrouted
+	for _, sw := range t.groupSW {
+		n += sw.Unrouted
+	}
+	return n
+}
+
+// DroppedAtTier sums drop counters per tier (downstream direction),
+// the aggregate loss accounting fleet results report.
+func (t *Tree) DroppedAtTier() (core, agg, access int) {
+	core = t.CoreDown.Dropped
+	for _, l := range t.AggDown {
+		agg += l.Dropped
+	}
+	for _, l := range t.AccessDown {
+		access += l.Dropped
+	}
+	return core, agg, access
+}

@@ -1,0 +1,179 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// treeAddr numbers tree-test clients 10.0.0.1 upward.
+func treeAddr(i int) [4]byte { return [4]byte{10, 0, 0, byte(i + 1)} }
+
+// buildTestTree attaches n collector clients under a lossless tree
+// with 2 clients per aggregation link and round rates for exact
+// timing math.
+func buildTestTree(sch *sim.Scheduler, n int) (*Tree, *collector, []*collector) {
+	server := &collector{sch: sch}
+	cfg := TreeConfig{
+		Access:        Tier{Down: 8 * Mbps, Up: 8 * Mbps, Delay: 2 * time.Millisecond, Queue: 1 << 20},
+		Agg:           Tier{Down: 80 * Mbps, Up: 80 * Mbps, Delay: 1 * time.Millisecond, Queue: 1 << 20},
+		Core:          Tier{Down: 800 * Mbps, Up: 800 * Mbps, Delay: 5 * time.Millisecond, Queue: 1 << 20},
+		ClientsPerAgg: 2,
+	}
+	tr := NewTree(sch, cfg, server)
+	clients := make([]*collector, n)
+	for i := range clients {
+		clients[i] = &collector{sch: sch}
+		tr.Attach(treeAddr(i), clients[i])
+	}
+	return tr, server, clients
+}
+
+// TestTreeRoutesDownstreamPerClient: a packet injected at the core
+// reaches exactly the addressed client, traversing that client's
+// aggregation group and access link (counters prove the path).
+func TestTreeRoutesDownstreamPerClient(t *testing.T) {
+	sch := sim.NewScheduler(1)
+	tr, _, clients := buildTestTree(sch, 5)
+	if tr.Groups() != 3 {
+		t.Fatalf("5 clients at 2/agg: groups = %d, want 3", tr.Groups())
+	}
+	for i, want := range []int{0, 0, 1, 1, 2} {
+		if g := tr.Group(i); g != want {
+			t.Fatalf("Group(%d) = %d, want %d", i, g, want)
+		}
+	}
+	tr.CoreDown.Send(segTo(treeAddr(2), 1000))
+	sch.Run()
+	for i, c := range clients {
+		want := 0
+		if i == 2 {
+			want = 1
+		}
+		if len(c.segs) != want {
+			t.Fatalf("client %d got %d packets, want %d", i, len(c.segs), want)
+		}
+	}
+	if tr.CoreDown.Sent != 1 || tr.AggDown[1].Sent != 1 || tr.AccessDown[2].Sent != 1 {
+		t.Fatalf("tier counters core=%d agg1=%d access2=%d, want 1/1/1",
+			tr.CoreDown.Sent, tr.AggDown[1].Sent, tr.AccessDown[2].Sent)
+	}
+	if tr.AggDown[0].Sent != 0 || tr.AccessDown[0].Sent != 0 {
+		t.Fatal("packet leaked into a foreign aggregation group")
+	}
+	if tr.Unrouted() != 0 {
+		t.Fatalf("Unrouted = %d", tr.Unrouted())
+	}
+}
+
+// TestTreeDownstreamTiming: end-to-end latency is the sum of the three
+// serialization times plus the three propagation delays — the hops
+// genuinely chain rather than short-circuit.
+func TestTreeDownstreamTiming(t *testing.T) {
+	sch := sim.NewScheduler(1)
+	tr, _, clients := buildTestTree(sch, 1)
+	seg := segTo(treeAddr(0), 960) // WireLen 1000 bytes
+	tr.CoreDown.Send(seg)
+	sch.Run()
+	if len(clients[0].at) != 1 {
+		t.Fatalf("client got %d packets", len(clients[0].at))
+	}
+	wire := seg.WireLen()
+	want := (800 * Mbps).TxTime(wire) + 5*time.Millisecond +
+		(80 * Mbps).TxTime(wire) + 1*time.Millisecond +
+		(8 * Mbps).TxTime(wire) + 2*time.Millisecond
+	if got := clients[0].at[0]; got != want {
+		t.Fatalf("arrival at %v, want %v", got, want)
+	}
+	if rtt := tr.Config().BaseRTT(); rtt != 16*time.Millisecond {
+		t.Fatalf("BaseRTT = %v, want 16ms", rtt)
+	}
+}
+
+// TestTreeUpstreamReachesServer: a client transmitting on its access
+// uplink reaches the server through its aggregation and core uplinks.
+func TestTreeUpstreamReachesServer(t *testing.T) {
+	sch := sim.NewScheduler(1)
+	server := &collector{sch: sch}
+	tr := NewTree(sch, TreeConfig{ClientsPerAgg: 2}, server)
+	client := &collector{sch: sch}
+	up := tr.Attach(treeAddr(0), client)
+	seg := &packet.Segment{Flow: packet.Flow{
+		Src: packet.Endpoint{Addr: treeAddr(0), Port: 4000},
+		Dst: packet.EP(203, 0, 113, 10, 80),
+	}}
+	up.Send(seg)
+	sch.Run()
+	if len(server.segs) != 1 {
+		t.Fatalf("server got %d packets, want 1", len(server.segs))
+	}
+	if tr.AggUp[0].Sent != 1 || tr.CoreUp.Sent != 1 {
+		t.Fatalf("uplink counters agg=%d core=%d, want 1/1", tr.AggUp[0].Sent, tr.CoreUp.Sent)
+	}
+}
+
+// TestTreeUnroutedAccounting: packets to unattached addresses are
+// counted, not delivered, at whichever switch dead-ends them.
+func TestTreeUnroutedAccounting(t *testing.T) {
+	sch := sim.NewScheduler(1)
+	tr, _, clients := buildTestTree(sch, 2)
+	tr.CoreDown.Send(segTo([4]byte{10, 9, 9, 9}, 100))
+	sch.Run()
+	if tr.Unrouted() != 1 {
+		t.Fatalf("Unrouted = %d, want 1", tr.Unrouted())
+	}
+	if len(clients[0].segs)+len(clients[1].segs) != 0 {
+		t.Fatal("unrouted packet was delivered")
+	}
+}
+
+// TestTreeTapsAttachAtEveryTier: the same capture tap machinery the
+// flat topologies use observes any tree hop.
+func TestTreeTapsAttachAtEveryTier(t *testing.T) {
+	sch := sim.NewScheduler(1)
+	tr, _, _ := buildTestTree(sch, 3)
+	var core, agg0, acc2 int
+	tr.CoreDown.AddTap(tapFunc(func(time.Duration, *packet.Segment) { core++ }))
+	tr.AggDown[0].AddTap(tapFunc(func(time.Duration, *packet.Segment) { agg0++ }))
+	tr.AccessDown[2].AddTap(tapFunc(func(time.Duration, *packet.Segment) { acc2++ }))
+	tr.CoreDown.Send(segTo(treeAddr(0), 100)) // group 0
+	tr.CoreDown.Send(segTo(treeAddr(2), 100)) // group 1
+	sch.Run()
+	if core != 2 || agg0 != 1 || acc2 != 1 {
+		t.Fatalf("taps saw core=%d agg0=%d access2=%d, want 2/1/1", core, agg0, acc2)
+	}
+}
+
+// tapFunc adapts a function to the Tap interface for tests.
+type tapFunc func(time.Duration, *packet.Segment)
+
+func (f tapFunc) Capture(at time.Duration, seg *packet.Segment) { f(at, seg) }
+
+// TestTreeDroppedAtTier: an undersized access queue drops there and
+// only there, and the per-tier accounting attributes it correctly.
+func TestTreeDroppedAtTier(t *testing.T) {
+	sch := sim.NewScheduler(1)
+	server := &collector{sch: sch}
+	cfg := TreeConfig{
+		Access: Tier{Down: 1 * Mbps, Up: 1 * Mbps, Delay: time.Millisecond, Queue: 1500},
+	}
+	tr := NewTree(sch, cfg, server)
+	client := &collector{sch: sch}
+	tr.Attach(treeAddr(0), client)
+	for i := 0; i < 10; i++ {
+		tr.CoreDown.Send(segTo(treeAddr(0), 1460))
+	}
+	sch.Run()
+	core, agg, access := tr.DroppedAtTier()
+	if core != 0 || agg != 0 {
+		t.Fatalf("drops above the bottleneck tier: core=%d agg=%d", core, agg)
+	}
+	if access == 0 {
+		t.Fatal("tight access queue dropped nothing")
+	}
+	if got := len(client.segs) + access; got != 10 {
+		t.Fatalf("delivered+dropped = %d, want 10", got)
+	}
+}

@@ -1,0 +1,540 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/player"
+	"repro/internal/runner"
+	"repro/internal/service"
+	"repro/internal/session"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tcp"
+)
+
+// MixEntry weights one player kind inside a fleet's strategy mix.
+type MixEntry struct {
+	Player PlayerKind
+	Weight int
+}
+
+// Fleet declares a fleet-scale run: hundreds to thousands of
+// concurrent sessions of a strategy mix, each behind its own access
+// link of a multi-tier netem.Tree, competing at shared aggregation
+// links and one core uplink. This is the aggregate vantage the paper
+// closes on — what an ISP sees when thousands of ON-OFF sources
+// synchronize — so results are streaming aggregate statistics
+// (mergeable quantile sketches, fixed-width utilization series), not
+// per-session captures: per-client state is O(1) and no analyzer or
+// trace is attached anywhere.
+type Fleet struct {
+	Name string
+	// Mix is the strategy mix. Clients take kinds from a deterministic
+	// weighted round-robin pattern, so proportions are exact for any
+	// client count. Empty means 100% Flash. All entries must talk to
+	// one service (YouTube and Netflix players cannot share a server
+	// port).
+	Mix     []MixEntry
+	Clients int // total sessions; default 64
+	// Tree shapes the topology; zero fields take netem defaults
+	// (6/1 Mbps access, 32 clients per 200 Mbps aggregation link,
+	// 2 Gbps core).
+	Tree netem.TreeConfig
+	// Video is the content template; per-client copies get consecutive
+	// IDs and the client's native container. Zero EncodingRate selects
+	// the 1.75 Mbps 360p default.
+	Video   media.Video
+	Arrival Arrival
+	// Duration is the absolute horizon; 0 → 180 s.
+	Duration time.Duration
+	// Warmup is where aggregate statistics (utilization means,
+	// burstiness) start, so arrival ramps don't masquerade as
+	// burstiness; 0 → Duration/4.
+	Warmup time.Duration
+	Seed   int64
+	// Shards partitions the fleet across independent tree replicas
+	// (each with its own core link), run in parallel on the runner
+	// pool and merged deterministically in shard order. Sharding
+	// trades cross-shard bottleneck interaction for wall-clock speed;
+	// statistics merge exactly, so results depend on the shard count
+	// but never on the worker count. Default 1.
+	Shards int
+	// UtilBin is the width of the fixed-width utilization/concurrency
+	// bins; 0 → 1 s.
+	UtilBin time.Duration
+	// QuantErr is the relative error of the QoE quantile sketches;
+	// 0 → stats.DefaultSketchErr (1%).
+	QuantErr  float64
+	ServerTCP tcp.Config
+	// Exact additionally retains exact per-client metric vectors
+	// (FleetResult.Exact) — the buffered computation the sketch
+	// equivalence tests pin the streaming one against. O(clients)
+	// extra memory; leave false at scale.
+	Exact bool
+	// ExtraCoreTap, when non-nil, is attached to each shard's core
+	// downstream link — the hook equivalence tests use to observe the
+	// raw packet stream next to the streaming accumulators.
+	ExtraCoreTap netem.Tap
+}
+
+// ParseMix parses a command-line strategy mix: entries of the form
+// "player:weight" (weight optional, default 1) joined by '+' or ',',
+// e.g. "flash:2+firefox:1" or "flash,chrome". It is the textual twin
+// of Fleet.MixString.
+func ParseMix(s string) ([]MixEntry, error) {
+	var out []MixEntry
+	for _, part := range strings.FieldsFunc(s, func(r rune) bool { return r == '+' || r == ',' }) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weight := part, 1
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			name = part[:i]
+			if _, err := fmt.Sscanf(part[i+1:], "%d", &weight); err != nil {
+				return nil, fmt.Errorf("mix %q: bad weight in %q", s, part)
+			}
+		}
+		kind, ok := PlayerKindByName(name)
+		if !ok {
+			return nil, fmt.Errorf("mix %q: unknown player %q", s, name)
+		}
+		out = append(out, MixEntry{Player: kind, Weight: weight})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mix %q: no entries", s)
+	}
+	return out, nil
+}
+
+// MixString renders the resolved mix ("flash:1+firefox:1").
+func (f Fleet) MixString() string {
+	parts := make([]string, len(f.Mix))
+	for i, e := range f.Mix {
+		parts[i] = fmt.Sprintf("%s:%d", e.Player, e.Weight)
+	}
+	return strings.Join(parts, "+")
+}
+
+func (f Fleet) withDefaults() Fleet {
+	if len(f.Mix) == 0 {
+		f.Mix = []MixEntry{{Player: Flash, Weight: 1}}
+	}
+	if f.Clients <= 0 {
+		f.Clients = 64
+	}
+	if f.Duration <= 0 {
+		f.Duration = session.DefaultDuration
+	}
+	if f.Warmup <= 0 {
+		f.Warmup = f.Duration / 4
+	}
+	if f.Seed == 0 {
+		f.Seed = 1
+	}
+	if f.Shards <= 0 {
+		f.Shards = 1
+	}
+	if f.UtilBin <= 0 {
+		f.UtilBin = time.Second
+	}
+	if f.QuantErr <= 0 {
+		f.QuantErr = stats.DefaultSketchErr
+	}
+	f.Tree = f.Tree.WithDefaults()
+	if f.Video.EncodingRate == 0 {
+		f.Video = media.Video{
+			EncodingRate: 1.75e6,
+			Duration:     420 * time.Second,
+			Resolution:   "360p",
+		}
+	}
+	if f.Video.ID == 0 {
+		f.Video.ID = 9000
+	}
+	if f.Video.Duration <= 0 {
+		f.Video.Duration = 420 * time.Second
+	}
+	if f.Name == "" {
+		f.Name = fmt.Sprintf("fleet x%d %s", f.Clients, f.MixString())
+	}
+	return f
+}
+
+// Validate rejects fleets that cannot run.
+func (f Fleet) Validate() error {
+	f = f.withDefaults()
+	svc := f.Mix[0].Player.Service()
+	for _, e := range f.Mix {
+		if e.Weight <= 0 {
+			return fmt.Errorf("fleet %q: non-positive weight for %s", f.Name, e.Player)
+		}
+		if e.Player.Service() != svc {
+			return fmt.Errorf("fleet %q: mix spans services (%s is %s, %s is %s)",
+				f.Name, f.Mix[0].Player, svc, e.Player, e.Player.Service())
+		}
+	}
+	if f.Clients > 65000 {
+		return fmt.Errorf("fleet %q: %d clients exceeds the 10.0/16 address plan", f.Name, f.Clients)
+	}
+	if f.Shards > f.Clients {
+		return fmt.Errorf("fleet %q: %d shards for %d clients", f.Name, f.Shards, f.Clients)
+	}
+	if f.Warmup >= f.Duration {
+		return fmt.Errorf("fleet %q: warmup %v >= duration %v", f.Name, f.Warmup, f.Duration)
+	}
+	return nil
+}
+
+// pattern expands the mix into its weighted round-robin sequence:
+// entry order, each kind Weight times. Client i plays
+// pattern[i%len(pattern)], which keeps proportions exact and the
+// assignment independent of sharding.
+func (f Fleet) pattern() []PlayerKind {
+	var p []PlayerKind
+	for _, e := range f.Mix {
+		for k := 0; k < e.Weight; k++ {
+			p = append(p, e.Player)
+		}
+	}
+	return p
+}
+
+// fleetVideo is client i's content: the template with a consecutive ID
+// and the client's native container, so a mixed fleet streams each
+// kind its own format.
+func (f Fleet) fleetVideo(i int, kind PlayerKind) media.Video {
+	v := f.Video
+	v.ID += i
+	v.Container = kind.NativeContainer()
+	return v
+}
+
+// FleetResult is the merged outcome of a fleet run: streaming
+// aggregate statistics only, O(clients + bins) memory regardless of
+// how many packets flowed.
+type FleetResult struct {
+	Fleet   Fleet // resolved spec
+	Clients int
+	Groups  int // aggregation links across all shards
+
+	// Per-client QoE sketches (merged across shards, exact merge).
+	RateMbps   *stats.Sketch // mean goodput over each client's active period
+	StartupSec *stats.Sketch // arrival → first payload byte
+
+	// Per-tier downstream utilization: wire bytes per UtilBin bin,
+	// summed over every link of the tier (and every shard).
+	CoreUtil   *stats.Binned
+	AggUtil    *stats.Binned
+	AccessUtil *stats.Binned
+	// ConcurrencyDeltas holds +1/-1 at each client's active-period
+	// boundaries; Concurrency() integrates it.
+	ConcurrencyDeltas *stats.Binned
+
+	// Burstiness sketches over post-warmup per-bin rates: one CV
+	// sample per aggregation link and one per shard core link.
+	AggBurst  *stats.Sketch
+	CoreBurst *stats.Sketch
+
+	// Loss accounting (downstream), per tier.
+	CoreOffered, CoreDropped      int
+	AggDropped, AccessDropped     int
+	Unrouted                      int
+	InducedCoreLoss               float64
+	Downloaded                    int64 // player-consumed bytes, fleet-wide
+	ActiveClients, StarvedClients int   // got ≥1 payload byte / got none
+
+	// Exact per-client vectors in global client order; nil unless
+	// Fleet.Exact.
+	Exact *FleetExact
+}
+
+// FleetExact is the buffered companion the sketch tests compare
+// against: the same per-client samples the sketches absorbed.
+type FleetExact struct {
+	RateMbps   []float64
+	StartupSec []float64
+}
+
+// Concurrency returns the per-bin count of clients with an active
+// download (first payload seen, last payload not yet).
+func (r *FleetResult) Concurrency() []float64 { return r.ConcurrencyDeltas.Cum() }
+
+// meanMbps converts a tier's merged byte series into the mean
+// per-link Mbps over the post-warmup window.
+func (r *FleetResult) meanMbps(b *stats.Binned, links int) float64 {
+	w := b.From(r.Fleet.Warmup)
+	if len(w) == 0 || links == 0 {
+		return 0
+	}
+	return stats.Mean(w) * 8 / b.Width.Seconds() / 1e6 / float64(links)
+}
+
+// CoreMbps, AggMbps and AccessMbps return mean per-link downstream
+// rates over the post-warmup window.
+func (r *FleetResult) CoreMbps() float64 { return r.meanMbps(r.CoreUtil, r.Fleet.Shards) }
+
+// AggMbps returns the mean per-aggregation-link downstream rate.
+func (r *FleetResult) AggMbps() float64 { return r.meanMbps(r.AggUtil, r.Groups) }
+
+// AccessMbps returns the mean per-access-link downstream rate.
+func (r *FleetResult) AccessMbps() float64 { return r.meanMbps(r.AccessUtil, r.Clients) }
+
+// Render prints the fleet summary table shared by vfleet, the fleet
+// example and the experiment artifacts.
+func (r *FleetResult) Render() string {
+	var b strings.Builder
+	f := r.Fleet
+	fmt.Fprintf(&b, "fleet %q: %d clients, %d agg links (%d/agg), %d shard(s), %v horizon (%v warmup)\n",
+		f.Name, r.Clients, r.Groups, f.Tree.ClientsPerAgg, f.Shards, f.Duration, f.Warmup)
+	fmt.Fprintf(&b, "  mix            : %s, arrivals %s\n", f.MixString(), f.Arrival.Kind)
+	fmt.Fprintf(&b, "  tier util Mbps : core %.1f  agg %.1f  access %.2f (per link, post-warmup)\n",
+		r.CoreMbps(), r.AggMbps(), r.AccessMbps())
+	fmt.Fprintf(&b, "  agg burstiness : CV p50 %.3f (p90 %.3f)   core CV %.3f\n",
+		r.AggBurst.Quantile(0.5), r.AggBurst.Quantile(0.9), r.CoreBurst.Quantile(0.5))
+	fmt.Fprintf(&b, "  client rate    : p10 %.2f  p50 %.2f  p90 %.2f Mbps (%d active, %d starved)\n",
+		r.RateMbps.Quantile(0.1), r.RateMbps.Quantile(0.5), r.RateMbps.Quantile(0.9),
+		r.ActiveClients, r.StarvedClients)
+	fmt.Fprintf(&b, "  startup        : p50 %.2f s  p90 %.2f s\n",
+		r.StartupSec.Quantile(0.5), r.StartupSec.Quantile(0.9))
+	fmt.Fprintf(&b, "  core loss      : %.3f%% (%d/%d)  agg drops %d  access drops %d\n",
+		r.InducedCoreLoss*100, r.CoreDropped, r.CoreOffered, r.AggDropped, r.AccessDropped)
+	return b.String()
+}
+
+// fleetClient is the whole per-client state a fleet run keeps: ~5
+// words, updated O(1) per downstream packet by its access-link tap.
+type fleetClient struct {
+	bytes   int64
+	packets int
+	start   time.Duration
+	first   time.Duration // -1 until the first payload byte
+	last    time.Duration
+}
+
+// clientTap feeds one client's access-link packets into its slim state
+// and the shared access-tier utilization series.
+type clientTap struct {
+	c    *fleetClient
+	util *stats.Binned
+}
+
+// Capture implements netem.Tap.
+func (t clientTap) Capture(at time.Duration, seg *packet.Segment) {
+	t.util.Add(at, float64(seg.WireLen()))
+	n := seg.Len()
+	if n == 0 {
+		return
+	}
+	t.c.packets++
+	t.c.bytes += int64(n)
+	if t.c.first < 0 {
+		t.c.first = at
+	}
+	t.c.last = at
+}
+
+// utilTap accumulates wire bytes of a shared link into binned series.
+type utilTap struct {
+	bins []*stats.Binned
+}
+
+// Capture implements netem.Tap.
+func (t utilTap) Capture(at time.Duration, seg *packet.Segment) {
+	v := float64(seg.WireLen())
+	for _, b := range t.bins {
+		b.Add(at, v)
+	}
+}
+
+// fleetShardSeed derives the deterministic seed of one shard; a fixed
+// formula (not an rng stream) keeps it independent of evaluation
+// order.
+func fleetShardSeed(seed int64, shard int) int64 {
+	return seed + 1000003*int64(shard)
+}
+
+// RunFleet executes the fleet: shards fan out on the runner pool
+// (each shard one single-threaded simulation on its own tree) and
+// their streaming statistics merge in shard order, so the result is
+// bit-identical for any worker count.
+func RunFleet(o runner.Options, f Fleet) *FleetResult {
+	f = f.withDefaults()
+	if err := f.Validate(); err != nil {
+		panic("scenario: " + err.Error())
+	}
+	// Shard s simulates clients [offsets[s], offsets[s+1]): contiguous
+	// global indices, so mix assignment and video IDs are shard-split
+	// invariant.
+	offsets := make([]int, f.Shards+1)
+	for s := 0; s < f.Shards; s++ {
+		cnt := f.Clients / f.Shards
+		if s < f.Clients%f.Shards {
+			cnt++
+		}
+		offsets[s+1] = offsets[s] + cnt
+	}
+	shardIdx := make([]int, f.Shards)
+	for i := range shardIdx {
+		shardIdx[i] = i
+	}
+	shards := runner.Map(o, shardIdx, func(_ int, s int) *FleetResult {
+		return runFleetShard(f, offsets[s], offsets[s+1])
+	})
+
+	res := shards[0]
+	for _, sh := range shards[1:] {
+		res.Clients += sh.Clients
+		res.Groups += sh.Groups
+		res.RateMbps.Merge(sh.RateMbps)
+		res.StartupSec.Merge(sh.StartupSec)
+		res.CoreUtil.Merge(sh.CoreUtil)
+		res.AggUtil.Merge(sh.AggUtil)
+		res.AccessUtil.Merge(sh.AccessUtil)
+		res.ConcurrencyDeltas.Merge(sh.ConcurrencyDeltas)
+		res.AggBurst.Merge(sh.AggBurst)
+		res.CoreBurst.Merge(sh.CoreBurst)
+		res.CoreOffered += sh.CoreOffered
+		res.CoreDropped += sh.CoreDropped
+		res.AggDropped += sh.AggDropped
+		res.AccessDropped += sh.AccessDropped
+		res.Unrouted += sh.Unrouted
+		res.Downloaded += sh.Downloaded
+		res.ActiveClients += sh.ActiveClients
+		res.StarvedClients += sh.StarvedClients
+		if res.Exact != nil && sh.Exact != nil {
+			res.Exact.RateMbps = append(res.Exact.RateMbps, sh.Exact.RateMbps...)
+			res.Exact.StartupSec = append(res.Exact.StartupSec, sh.Exact.StartupSec...)
+		}
+	}
+	if res.CoreOffered > 0 {
+		res.InducedCoreLoss = float64(res.CoreDropped) / float64(res.CoreOffered)
+	}
+	return res
+}
+
+// runFleetShard simulates global clients [from, to) on one tree.
+func runFleetShard(f Fleet, from, to int) *FleetResult {
+	n := to - from
+	sch := sim.NewScheduler(fleetShardSeed(f.Seed, from))
+	server := tcp.NewHost(sch, session.ServerAddr[0], session.ServerAddr[1], session.ServerAddr[2], session.ServerAddr[3])
+	tree := netem.NewTree(sch, f.Tree, server)
+	server.SetLink(tree.CoreDown)
+
+	// Streaming sinks only — every stack on the tree shares one
+	// segment pool, the same O(flows) memory regime sessions use.
+	pool := &packet.Pool{}
+	server.SetSegmentPool(pool)
+
+	res := &FleetResult{
+		Fleet:             f,
+		Clients:           n,
+		RateMbps:          stats.NewSketch(f.QuantErr),
+		StartupSec:        stats.NewSketch(f.QuantErr),
+		CoreUtil:          stats.NewBinned(f.UtilBin, f.Duration),
+		AggUtil:           stats.NewBinned(f.UtilBin, f.Duration),
+		AccessUtil:        stats.NewBinned(f.UtilBin, f.Duration),
+		ConcurrencyDeltas: stats.NewBinned(f.UtilBin, f.Duration),
+		AggBurst:          stats.NewSketch(f.QuantErr),
+		CoreBurst:         stats.NewSketch(f.QuantErr),
+	}
+	if f.Exact {
+		res.Exact = &FleetExact{}
+	}
+
+	pattern := f.pattern()
+	kinds := make([]PlayerKind, n)
+	vids := make([]media.Video, n)
+	for j := 0; j < n; j++ {
+		kinds[j] = pattern[(from+j)%len(pattern)]
+		vids[j] = f.fleetVideo(from+j, kinds[j])
+	}
+	switch f.Mix[0].Player.Service() {
+	case session.YouTube:
+		service.NewYouTube(server, f.ServerTCP, vids)
+	case session.Netflix:
+		service.NewNetflix(server, f.ServerTCP, vids)
+	}
+
+	tree.CoreDown.AddTap(utilTap{bins: []*stats.Binned{res.CoreUtil}})
+	if f.ExtraCoreTap != nil {
+		tree.CoreDown.AddTap(f.ExtraCoreTap)
+	}
+
+	starts := f.Arrival.Times(n, sch.Rand())
+	clients := make([]fleetClient, n)
+	players := make([]player.Player, n)
+	perAgg := make([]*stats.Binned, 0, tree.Group(n-1)+1)
+	for j := 0; j < n; j++ {
+		j := j
+		addr := clientAddr(from + j)
+		host := tcp.NewHost(sch, addr[0], addr[1], addr[2], addr[3])
+		host.SetSegmentPool(pool)
+		host.SetLink(tree.Attach(addr, host))
+		// A freshly created aggregation link gets its burstiness
+		// series and the shared tier accumulator.
+		if g := tree.Group(j); g == len(perAgg) {
+			perAgg = append(perAgg, stats.NewBinned(f.UtilBin, f.Duration))
+			tree.AggDown[g].AddTap(utilTap{bins: []*stats.Binned{res.AggUtil, perAgg[g]}})
+		}
+		clients[j] = fleetClient{start: starts[j], first: -1}
+		tree.AccessDown[j].AddTap(clientTap{c: &clients[j], util: res.AccessUtil})
+		env := &player.Env{Sch: sch, Host: host, Server: packet.Endpoint{Addr: session.ServerAddr, Port: 80}}
+		p := kinds[j].New()
+		players[j] = p
+		if starts[j] > 0 {
+			sch.At(starts[j], func() { p.Start(env, vids[j]) })
+		} else {
+			p.Start(env, vids[j])
+		}
+	}
+	res.Groups = tree.Groups()
+
+	sch.RunUntil(f.Duration)
+
+	for j := range clients {
+		c := &clients[j]
+		res.Downloaded += players[j].Downloaded()
+		if c.first < 0 {
+			res.StarvedClients++
+			res.RateMbps.Add(0)
+			if res.Exact != nil {
+				res.Exact.RateMbps = append(res.Exact.RateMbps, 0)
+			}
+			continue
+		}
+		res.ActiveClients++
+		rate := 0.0
+		if c.last > c.first {
+			rate = float64(c.bytes) * 8 / (c.last - c.first).Seconds() / 1e6
+		}
+		startup := (c.first - c.start).Seconds()
+		res.RateMbps.Add(rate)
+		res.StartupSec.Add(startup)
+		res.ConcurrencyDeltas.Add(c.first, 1)
+		res.ConcurrencyDeltas.Add(c.last, -1)
+		if res.Exact != nil {
+			res.Exact.RateMbps = append(res.Exact.RateMbps, rate)
+			res.Exact.StartupSec = append(res.Exact.StartupSec, startup)
+		}
+	}
+	for _, b := range perAgg {
+		res.AggBurst.Add(stats.CV(b.From(f.Warmup)))
+	}
+	res.CoreBurst.Add(stats.CV(res.CoreUtil.From(f.Warmup)))
+
+	res.CoreOffered = tree.CoreDown.Sent + tree.CoreDown.Dropped
+	core, agg, access := tree.DroppedAtTier()
+	res.CoreDropped = core
+	res.AggDropped = agg
+	res.AccessDropped = access
+	res.Unrouted = tree.Unrouted()
+	// InducedCoreLoss is derived once, in RunFleet, from the merged
+	// counters — it covers the single-shard case too.
+	return res
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package scenario
+
+// fleetDetClients sizes the fleet determinism test: the full
+// 1,000-client acceptance scale in normal runs, scaled down under the
+// race detector (same code paths, ~20x the per-event cost).
+const fleetDetClients = 1000

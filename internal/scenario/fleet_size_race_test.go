@@ -1,0 +1,8 @@
+//go:build race
+
+package scenario
+
+// fleetDetClients under -race: the merge/determinism paths are
+// identical, only the client count shrinks to keep the race suite
+// fast.
+const fleetDetClients = 96

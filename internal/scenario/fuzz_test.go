@@ -44,10 +44,23 @@ func FuzzParseDynamics(f *testing.F) {
 		if verr := d.Validate(); verr != nil {
 			t.Fatalf("ParseDynamics(%q) accepted a timeline its own Validate rejects: %v", spec, verr)
 		}
-		// Accepted non-empty specs must round-trip each event kind
-		// through the bandwidth parser without panicking either.
+		// Accepted specs must produce exactly one step per non-empty
+		// event — nothing silently dropped or duplicated — and no rate
+		// step may smuggle in a negative bandwidth (ParseBandwidth's
+		// own fuzzed invariant, which the event parser must preserve).
+		events := 0
 		for _, ev := range strings.Split(spec, ";") {
-			_ = ev
+			if strings.TrimSpace(ev) != "" {
+				events++
+			}
+		}
+		if len(d.Steps) != events {
+			t.Fatalf("ParseDynamics(%q): %d non-empty events became %d steps", spec, events, len(d.Steps))
+		}
+		for _, st := range d.Steps {
+			if st.SetRate && st.Rate < 0 {
+				t.Fatalf("ParseDynamics(%q) accepted a negative rate %v", spec, st.Rate)
+			}
 		}
 	})
 }

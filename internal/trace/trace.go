@@ -43,6 +43,12 @@ type Record struct {
 // retained for pcap export and offline flow inspection. Flow-level
 // accessors are backed by an incrementally built per-flow index, so
 // repeated Flows/FlowRecords/DownBytes calls do not rescan Records.
+//
+// Records must be treated as append-only once any flow accessor has
+// run: the staleness check only detects a shrunken slice, so
+// truncating and refilling Records back to (or past) its indexed
+// length would silently serve the old index. Replace the Trace, don't
+// recycle it.
 type Trace struct {
 	Records []Record
 	idx     flowIndex
