@@ -41,6 +41,8 @@ func main() {
 	coreDown := flag.Float64("core-down", 0, "core down-link Mbps (0 = 2000)")
 	series := flag.Bool("series", false, "print the per-bin core/agg utilization and concurrency series")
 	players := flag.Bool("players", false, "list player kind names and exit")
+	abrMode := flag.Bool("abr", false, "run the ABR headline comparison: fixed-top vs rate-based vs buffer-based controllers under a rate-drop timeline")
+	down := flag.String("down", "", `dynamics timeline for every aggregation downstream link, e.g. "rate@40s=24Mbps; outage@90s=5s" (with -abr, default drops to 24 Mbps at duration/3)`)
 	flag.Parse()
 
 	if *players {
@@ -68,13 +70,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vfleet: unknown arrival %q\n", *arrival)
 		os.Exit(1)
 	}
+	dur := time.Duration(*duration * float64(time.Second))
+	var dyn netem.Dynamics
+	if *down != "" {
+		dyn, err = scenario.ParseDynamics(*down)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vfleet:", err)
+			os.Exit(1)
+		}
+	} else if *abrMode {
+		dyn = netem.Dynamics{}.Then(netem.RateStep(dur/3, 24*netem.Mbps))
+	}
 	f := scenario.Fleet{
 		Mix:      entries,
 		Clients:  *clients,
-		Duration: time.Duration(*duration * float64(time.Second)),
+		Duration: dur,
 		Warmup:   time.Duration(*warmup * float64(time.Second)),
 		Seed:     *seed,
 		Shards:   *shards,
+		Down:     dyn,
 		UtilBin:  time.Duration(*bin * float64(time.Second)),
 		Arrival:  scenario.Arrival{Kind: kind, Window: time.Duration(*window * float64(time.Second))},
 	}
@@ -85,6 +99,27 @@ func main() {
 	if err := f.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "vfleet:", err)
 		os.Exit(1)
+	}
+
+	if *abrMode {
+		// The headline comparison: the same fleet under the same
+		// timeline, once per controller. Mix is overridden.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "mix" {
+				fmt.Fprintln(os.Stderr, "vfleet: -abr runs one fleet per controller; ignoring -mix")
+			}
+		})
+		start := time.Now()
+		for _, k := range []scenario.PlayerKind{scenario.AbrFixed, scenario.AbrRate, scenario.AbrBuffer} {
+			cf := f
+			cf.Name = "abr/" + k.String()
+			cf.Mix = []scenario.MixEntry{{Player: k, Weight: 1}}
+			res := scenario.RunFleet(runner.Options{Workers: *workers}, cf)
+			fmt.Print(res.Render())
+			fmt.Println()
+		}
+		fmt.Printf("[abr comparison completed in %v]\n", time.Since(start).Round(time.Millisecond))
+		return
 	}
 
 	start := time.Now()

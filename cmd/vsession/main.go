@@ -77,6 +77,13 @@ func main() {
 	fmt.Printf("capture : %d packets, %.2f MB down, %d connections\n",
 		res.Packets, float64(a.TotalBytes)/1e6, a.ConnCount)
 	fmt.Printf("result  : %s\n", a)
+	q := res.QoE
+	fmt.Printf("playback: startup %.2f s, %d rebuffer(s) (%.1f s), %d switch(es)\n",
+		q.StartupDelay.Seconds(), q.Rebuffers, q.RebufferTime.Seconds(), q.Switches)
+	if len(a.Rungs) > 0 {
+		fmt.Printf("rungs   : %d rendition cycle(s), %d switch(es) on the wire\n",
+			len(a.Rungs), a.RungSwitches)
+	}
 
 	if *pcapPath != "" {
 		f, err := os.Create(*pcapPath)

@@ -55,6 +55,9 @@ var registry = map[string]runner{
 	"fleet-burstiness": func(o experiments.Options) string {
 		return experiments.AggregateBurstiness(o).Artifact.String()
 	},
+	"abr-ratedrop": func(o experiments.Options) string {
+		return experiments.AbrRateDrop(o).Artifact.String()
+	},
 }
 
 // order fixes the presentation sequence for -exp all.
@@ -63,6 +66,7 @@ var order = []string{
 	"fig8", "fig9", "fig9-idlereset", "fig10", "fig11", "fig12",
 	"table2", "model-agg", "model-smooth", "model-interrupt", "model-waste",
 	"scenario-ratedrop", "scenario-flashcrowd", "fleet-burstiness",
+	"abr-ratedrop",
 }
 
 func main() {

@@ -1,0 +1,102 @@
+// ABR walkthrough: the adaptive-bitrate headline at fleet scale. Three
+// fleets of segmented players stream the same 5-rung rendition ladder
+// (0.5–3.8 Mbps) through the same mid-run congestion event — every
+// 200 Mbps aggregation link drops to 24 Mbps, leaving 0.75 Mbps per
+// client — and differ only in the abr.Controller picking each chunk's
+// rung:
+//
+//   - fixed:  the null controller pinned to the top rung (a legacy
+//     single-bitrate player in controller form),
+//   - rate:   a throughput-EWMA rule,
+//   - buffer: a BBA-style reservoir/cushion rule.
+//
+// The playback-buffer model turns the difference into QoE: the fixed
+// fleet spends most of the post-drop horizon stalled, the adaptive
+// fleets walk down the ladder and keep rebuffering near zero at a
+// lower mean bitrate. Everything is a streaming aggregate statistic
+// and the run is bit-identical for any worker count.
+//
+//	go run ./examples/abr
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+)
+
+func main() {
+	const (
+		clients  = 96
+		duration = 120 * time.Second
+	)
+	dropAt := duration / 3
+	timeline := netem.Dynamics{}.Then(netem.RateStep(dropAt, 24*netem.Mbps))
+
+	fmt.Println("=== abr: rendition ladders vs a fleet-scale rate drop ===")
+	fmt.Printf("%d clients/controller, 32 per 200 Mbps agg link; drop to 24 Mbps (0.75 Mbps/client) at t=%v\n\n",
+		clients, dropAt)
+
+	controllers := []scenario.PlayerKind{scenario.AbrFixed, scenario.AbrRate, scenario.AbrBuffer}
+	start := time.Now()
+	results := make([]*scenario.FleetResult, len(controllers))
+	for i, k := range controllers {
+		f := scenario.Fleet{
+			Name:     "abr/" + k.String(),
+			Mix:      []scenario.MixEntry{{Player: k, Weight: 1}},
+			Clients:  clients,
+			Shards:   3, // one tree per aggregation group
+			Duration: duration,
+			Arrival:  scenario.Arrival{Kind: scenario.Staggered, Window: duration / 6},
+			Down:     timeline,
+			Seed:     7,
+			Video:    media.Video{Duration: 900 * time.Second, Resolution: "adaptive"}.WithLadder(media.DefaultLadder()...),
+		}
+		results[i] = scenario.RunFleet(runner.Options{}, f)
+	}
+
+	// Rebuffer summary.
+	fmt.Printf("%-10s %-18s %-20s %-12s %-12s\n",
+		"controller", "rebuffers p50/p90", "stall sec p50/p90", "switch p50", "Mbps p50")
+	for i, k := range controllers {
+		r := results[i]
+		fmt.Printf("%-10s %-18s %-20s %-12.0f %-12.2f\n",
+			strings.TrimPrefix(k.String(), "abr-"),
+			fmt.Sprintf("%.0f / %.0f", r.RebufCount.Quantile(0.5), r.RebufCount.Quantile(0.9)),
+			fmt.Sprintf("%.1f / %.1f", r.RebufSec.Quantile(0.5), r.RebufSec.Quantile(0.9)),
+			r.SwitchCount.Quantile(0.5),
+			r.FetchedMbps.Quantile(0.5))
+	}
+
+	// Per-rung occupancy table: where each fleet spent its media time.
+	fmt.Println()
+	fmt.Printf("%-10s", "rung Mbps")
+	for _, rate := range media.DefaultLadder() {
+		fmt.Printf(" %8.1f", rate/1e6)
+	}
+	fmt.Println()
+	for i, k := range controllers {
+		fmt.Printf("%-10s", strings.TrimPrefix(k.String(), "abr-"))
+		shares := results[i].RungShare()
+		for r := 0; r < len(media.DefaultLadder()); r++ {
+			s := 0.0
+			if r < len(shares) {
+				s = shares[r]
+			}
+			fmt.Printf(" %7.0f%%", s*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("the fixed fleet keeps requesting 3.8 Mbps through a 0.75 Mbps share and stalls;")
+	fmt.Println("the adaptive fleets trade bitrate for smooth playback — the client-side answer")
+	fmt.Println("to the congestion events PR 2 made expressible.")
+	fmt.Printf("[%d sessions x 3 controllers simulated in %v]\n",
+		clients, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,88 @@
+package abr
+
+import "testing"
+
+var ladder = []float64{500e3, 1000e3, 1600e3, 2600e3, 3800e3}
+
+func TestFixedClampsAndCounts(t *testing.T) {
+	cases := []struct {
+		rung, want int
+	}{{0, 0}, {2, 2}, {99, 4}, {-1, 4}, {-5, 0}, {-99, 0}}
+	for _, c := range cases {
+		f := NewFixed(c.rung)
+		if got := f.Next(Snapshot{Ladder: ladder}); got != c.want {
+			t.Errorf("Fixed(%d) = %d, want %d", c.rung, got, c.want)
+		}
+	}
+}
+
+func TestRateBasedStartsLowAndConverges(t *testing.T) {
+	r := NewRateBased()
+	if got := r.Next(Snapshot{Ladder: ladder}); got != 0 {
+		t.Fatalf("no measurement: rung %d, want 0", got)
+	}
+	// Feed a steady 3 Mbps: the EWMA converges and the pick settles on
+	// the highest rung under 0.85*3 Mbps = 2.55 Mbps, i.e. 1.6 Mbps.
+	var got int
+	for i := 0; i < 50; i++ {
+		got = r.Next(Snapshot{Ladder: ladder, LastChunkBps: 3e6})
+	}
+	if ladder[got] != 1600e3 {
+		t.Fatalf("steady 3 Mbps: settled on %v bps, want 1.6 Mbps", ladder[got])
+	}
+	// A collapse to 600 kbps must eventually drop to the bottom rung.
+	for i := 0; i < 50; i++ {
+		got = r.Next(Snapshot{Ladder: ladder, LastChunkBps: 600e3})
+	}
+	if got != 0 {
+		t.Fatalf("after collapse: rung %d, want 0", got)
+	}
+}
+
+func TestBufferBasedMap(t *testing.T) {
+	b := NewBufferBased()
+	// Below the reservoir: bottom rung regardless of history.
+	if got := b.Next(Snapshot{Ladder: ladder, BufferSec: 2, CurrentRung: 4}); got != 0 {
+		t.Fatalf("reservoir: rung %d, want 0", got)
+	}
+	// Deep cushion: climbs toward the top, one rung per decision.
+	cur := 0
+	for i := 0; i < 10; i++ {
+		next := b.Next(Snapshot{Ladder: ladder, BufferSec: 40, CurrentRung: cur})
+		if next > cur+1 {
+			t.Fatalf("climbed %d -> %d in one decision", cur, next)
+		}
+		cur = next
+	}
+	if cur != len(ladder)-1 {
+		t.Fatalf("full cushion settled on rung %d, want top", cur)
+	}
+	// Mid-cushion: a middle rung.
+	mid := b.Next(Snapshot{Ladder: ladder, BufferSec: 15, CurrentRung: 4})
+	if mid == 0 || mid == len(ladder)-1 {
+		t.Fatalf("mid cushion picked extreme rung %d", mid)
+	}
+}
+
+func TestControllersDeterministic(t *testing.T) {
+	// Same observation sequence, same decision sequence — the fleet
+	// determinism guarantee leans on this.
+	obs := []Snapshot{
+		{Ladder: ladder, BufferSec: 0},
+		{Ladder: ladder, BufferSec: 4, LastChunkBps: 5e6},
+		{Ladder: ladder, BufferSec: 9, LastChunkBps: 2e6, CurrentRung: 1},
+		{Ladder: ladder, BufferSec: 22, LastChunkBps: 4e6, CurrentRung: 2},
+	}
+	for _, mk := range []func() Controller{
+		func() Controller { return NewFixed(-1) },
+		func() Controller { return NewRateBased() },
+		func() Controller { return NewBufferBased() },
+	} {
+		a, b := mk(), mk()
+		for i, s := range obs {
+			if x, y := a.Next(s), b.Next(s); x != y {
+				t.Fatalf("%s: decision %d diverged (%d vs %d)", a.Name(), i, x, y)
+			}
+		}
+	}
+}

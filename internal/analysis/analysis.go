@@ -125,6 +125,17 @@ type SeriesBin struct {
 	LastWindow int
 }
 
+// RungSpan is one per-rendition request cycle: a contiguous stretch
+// of downstream fragments all encoded at one ladder bitrate,
+// recovered from the fragment headers on the wire (the methodology's
+// rate-from-headers idea applied to adaptive streams).
+type RungSpan struct {
+	Bitrate    float64 // bps, from the fragment headers
+	Start, End time.Duration
+	Bytes      int64
+	Fragments  int
+}
+
 // Result is the full per-session analysis.
 type Result struct {
 	Cycles []Cycle
@@ -158,6 +169,12 @@ type Result struct {
 
 	// Bins is the optional binned series (Config.SeriesBin).
 	Bins []SeriesBin
+
+	// Rungs are the per-rendition request cycles of an adaptive
+	// session (nil when the capture carries no fragment headers);
+	// RungSwitches counts rendition changes between adjacent spans.
+	Rungs        []RungSpan
+	RungSwitches int
 }
 
 // Analyze runs the full pipeline on a buffered trace by replaying it

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/media"
 	"repro/internal/packet"
 	"repro/internal/trace"
 )
@@ -58,8 +59,22 @@ type Streaming struct {
 	firstFlow packet.Flow
 	asm       headerAsm
 
+	// Rendition segmentation: fragment headers observed in Down
+	// payloads delimit per-rendition request cycles. Scanning is
+	// self-disabling: a capture whose first rungScanBudget data
+	// segments carry no fragment header never will (fragment streams
+	// announce themselves in segment one), so non-fragment sessions
+	// pay nothing past the first window.
+	rungMisses int
+	rungFound  bool
+
 	done bool
 }
+
+// rungScanBudget is how many fragment-header-free data segments the
+// analyzer scans before concluding the capture is not a fragment
+// stream.
+const rungScanBudget = 64
 
 type ackSample struct {
 	at time.Duration
@@ -121,6 +136,7 @@ func (s *Streaming) Capture(at time.Duration, dir trace.Dir, seg *packet.Segment
 		return
 	}
 	s.res.TotalBytes += int64(n)
+	s.rungTick(at, seg, n)
 
 	// Retransmission heuristic: sequence regression per flow.
 	s.res.DataSegs++
@@ -155,6 +171,38 @@ func (s *Streaming) Capture(at time.Duration, dir trace.Dir, seg *packet.Segment
 		s.lastData = at
 	}
 	s.ackTick(at, n)
+}
+
+// rungTick segments per-rendition request cycles: every MP4 fragment
+// header in the downstream payload announces the bitrate the client
+// chose for that fragment, and contiguous same-rate stretches fold
+// into one RungSpan. Retransmitted headers re-announce the same rate
+// and are absorbed by the open span, so the output is insensitive to
+// loss.
+func (s *Streaming) rungTick(at time.Duration, seg *packet.Segment, n int) {
+	if !s.rungFound && s.rungMisses >= rungScanBudget {
+		return
+	}
+	rate := media.FragHeaderRate(seg.Payload)
+	if rate > 0 {
+		cur := len(s.res.Rungs) - 1
+		if cur >= 0 && s.res.Rungs[cur].Bitrate == rate {
+			s.res.Rungs[cur].Fragments++
+		} else {
+			if cur >= 0 {
+				s.res.RungSwitches++
+			}
+			s.res.Rungs = append(s.res.Rungs, RungSpan{Bitrate: rate, Start: at, Fragments: 1})
+		}
+		s.rungFound = true
+	} else if !s.rungFound {
+		s.rungMisses++
+		return
+	}
+	if cur := len(s.res.Rungs) - 1; cur >= 0 {
+		s.res.Rungs[cur].Bytes += int64(n)
+		s.res.Rungs[cur].End = at
+	}
 }
 
 // ackTick accumulates bytes into the first-RTT window of the current

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAbrRateDropHeadline pins the experiment's claim: under the
+// mid-run aggregation-tier rate drop, the fixed-top-rung fleet stalls
+// for a large share of the post-drop horizon while the adaptive
+// controllers keep rebuffering near zero by walking down the ladder.
+func TestAbrRateDropHeadline(t *testing.T) {
+	r := AbrRateDrop(Options{N: 1, Seed: 1, Duration: 120 * time.Second})
+	if len(r.Rows) != 3 {
+		t.Fatalf("want 3 controller rows, got %d", len(r.Rows))
+	}
+	fixed, rate, buffer := r.Rows[0], r.Rows[1], r.Rows[2]
+	if fixed.Controller != "fixed" || rate.Controller != "rate" || buffer.Controller != "buffer" {
+		t.Fatalf("unexpected row order: %+v", r.Rows)
+	}
+	// The fixed fleet must stall hard; both adaptive fleets must stall
+	// at least 3x less at the median.
+	if fixed.StallSecP50 < 10 {
+		t.Fatalf("fixed-rung fleet barely stalled (%.1f s p50) — the drop is not biting", fixed.StallSecP50)
+	}
+	for _, a := range []AbrRow{rate, buffer} {
+		if a.StallSecP50 > fixed.StallSecP50/3 {
+			t.Fatalf("%s controller stalled %.1f s p50, want < fixed/3 (%.1f)",
+				a.Controller, a.StallSecP50, fixed.StallSecP50/3)
+		}
+		if a.SwitchP50 <= 0 {
+			t.Fatalf("%s controller never switched rungs", a.Controller)
+		}
+		// The trade: adaptive fleets fetch at a lower mean bitrate.
+		if a.FetchedP50 >= fixed.FetchedP50 {
+			t.Fatalf("%s controller fetched %.2f Mbps p50, want below the fixed rung's %.2f",
+				a.Controller, a.FetchedP50, fixed.FetchedP50)
+		}
+	}
+	// The fixed fleet never leaves the top rung.
+	if n := len(fixed.RungShare); n == 0 || fixed.RungShare[n-1] < 0.999 {
+		t.Fatalf("fixed fleet's rung occupancy is not pinned to the top: %v", fixed.RungShare)
+	}
+}

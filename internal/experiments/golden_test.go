@@ -40,6 +40,9 @@ func TestGoldenArtifacts(t *testing.T) {
 		{"fleet-burstiness_n1_150s", func() string {
 			return AggregateBurstiness(Options{N: 1, Seed: 1, Duration: 150 * time.Second}).Artifact.String()
 		}},
+		{"abr-ratedrop_n1_120s", func() string {
+			return AbrRateDrop(Options{N: 1, Seed: 1, Duration: 120 * time.Second}).Artifact.String()
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

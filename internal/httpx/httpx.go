@@ -52,6 +52,50 @@ func (r *Request) Range() (start, end int64, ok bool) {
 	return start, end, true
 }
 
+// ResolveRange resolves the request's Range header against a resource
+// of size bytes. It supports the full single-range grammar the
+// per-rendition resources serve: "bytes=a-b" (end clamped to EOF),
+// "bytes=a-" (open-ended) and "bytes=-n" (suffix: the last n bytes).
+// hasRange is false when no Range header is present; ok is false when
+// one is present but unsatisfiable (start at or past EOF, a malformed
+// spec, or an empty suffix) — the 416 case.
+func (r *Request) ResolveRange(size int64) (start, n int64, hasRange, ok bool) {
+	h, present := r.Headers["range"]
+	if !present {
+		return 0, 0, false, false
+	}
+	// Suffix form ("bytes=-n") is the one shape Range() cannot carry;
+	// everything else delegates to it so the grammar lives in one
+	// place.
+	if a, b, found := strings.Cut(strings.TrimPrefix(h, "bytes="), "-"); found && a == "" {
+		want, err := strconv.ParseInt(b, 10, 64)
+		if err != nil || want <= 0 {
+			return 0, 0, true, false
+		}
+		if want > size {
+			want = size
+		}
+		if want == 0 { // empty resource: nothing to satisfy
+			return 0, 0, true, false
+		}
+		return size - want, want, true, true
+	}
+	s, e, valid := r.Range()
+	if !valid || s < 0 || s >= size {
+		return 0, 0, true, false
+	}
+	end := size - 1
+	if e >= 0 {
+		if e < s {
+			return 0, 0, true, false
+		}
+		if e < end {
+			end = e
+		}
+	}
+	return s, end - s + 1, true, true
+}
+
 // ResponseWriter lets a handler emit a response. The body may be
 // written incrementally and from timer callbacks — that is how the
 // YouTube server paces Flash videos.
@@ -192,6 +236,8 @@ func statusText(code int) string {
 		return "Partial Content"
 	case 404:
 		return "Not Found"
+	case 416:
+		return "Range Not Satisfiable"
 	default:
 		return "Status"
 	}

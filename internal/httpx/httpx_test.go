@@ -142,6 +142,91 @@ func TestRangeParsing(t *testing.T) {
 	}
 }
 
+func TestResolveRange(t *testing.T) {
+	const size = 1000
+	cases := []struct {
+		in       string
+		start, n int64
+		has, ok  bool
+	}{
+		{"bytes=0-99", 0, 100, true, true},
+		{"bytes=900-", 900, 100, true, true},
+		{"bytes=0-", 0, 1000, true, true},
+		// End past EOF clamps to the last byte.
+		{"bytes=990-5000", 990, 10, true, true},
+		{"bytes=0-999999", 0, 1000, true, true},
+		// Suffix ranges.
+		{"bytes=-100", 900, 100, true, true},
+		{"bytes=-1", 999, 1, true, true},
+		// Suffix longer than the resource clamps to the whole file.
+		{"bytes=-5000", 0, 1000, true, true},
+		// Unsatisfiable: start at/past EOF, inverted, malformed, empty
+		// suffix.
+		{"bytes=1000-", 0, 0, true, false},
+		{"bytes=5000-6000", 0, 0, true, false},
+		{"bytes=5-4", 0, 0, true, false},
+		{"bytes=-0", 0, 0, true, false},
+		{"bytes=abc-def", 0, 0, true, false},
+		{"junk", 0, 0, true, false},
+		{"bytes=--5", 0, 0, true, false},
+	}
+	for _, c := range cases {
+		r := &Request{Headers: map[string]string{"range": c.in}}
+		start, n, has, ok := r.ResolveRange(size)
+		if has != c.has || ok != c.ok || (ok && (start != c.start || n != c.n)) {
+			t.Errorf("ResolveRange(%q) = %d,%d,%v,%v; want %d,%d,%v,%v",
+				c.in, start, n, has, ok, c.start, c.n, c.has, c.ok)
+		}
+	}
+	// No header at all.
+	r := &Request{Headers: map[string]string{}}
+	if _, _, has, _ := r.ResolveRange(size); has {
+		t.Error("missing header must report hasRange=false")
+	}
+	// A zero-length resource satisfies nothing.
+	r = &Request{Headers: map[string]string{"range": "bytes=0-"}}
+	if _, _, _, ok := r.ResolveRange(0); ok {
+		t.Error("empty resource must be unsatisfiable")
+	}
+	r = &Request{Headers: map[string]string{"range": "bytes=-10"}}
+	if _, _, _, ok := r.ResolveRange(0); ok {
+		t.Error("suffix on empty resource must be unsatisfiable")
+	}
+}
+
+func TestZeroLengthBody(t *testing.T) {
+	// A Content-Length: 0 response (the 404/416 shape) must complete
+	// without a body phase and leave the connection usable for the
+	// next exchange.
+	w := newWorld(7)
+	NewServer(w.server, 80, tcp.Config{}, func(req *Request, rw ResponseWriter) {
+		if req.Path == "/empty" {
+			rw.WriteHeader(416, map[string]string{"Content-Length": "0"})
+			return
+		}
+		rw.WriteHeader(200, map[string]string{"Content-Length": "3"})
+		rw.Write([]byte("abc"))
+	})
+	cc := w.dial()
+	var statuses []int
+	got := 0
+	cc.OnResponse(func(r *Response) { statuses = append(statuses, r.Status) })
+	cc.OnBody(func(avail int) { got += cc.DiscardBody(avail) })
+	cc.Get("/empty", map[string]string{"Range": "bytes=5000-"})
+	w.sch.RunUntil(2 * time.Second)
+	cc.Get("/next", nil)
+	w.sch.RunUntil(4 * time.Second)
+	if len(statuses) != 2 || statuses[0] != 416 || statuses[1] != 200 {
+		t.Fatalf("statuses = %v", statuses)
+	}
+	if got != 3 {
+		t.Fatalf("body bytes = %d, want 3", got)
+	}
+	if cc.BodyRemaining() != 0 {
+		t.Fatalf("BodyRemaining = %d", cc.BodyRemaining())
+	}
+}
+
 func TestPipelinedSequentialRequests(t *testing.T) {
 	// Two requests on one connection where responses arrive back to
 	// back; the client must delimit them via Content-Length.

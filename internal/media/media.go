@@ -12,6 +12,7 @@
 package media
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -46,15 +47,66 @@ func (c Container) String() string {
 type Video struct {
 	ID           int
 	Title        string
-	EncodingRate float64 // bits per second
+	EncodingRate float64 // bits per second (the default/top rendition)
 	Duration     time.Duration
 	Container    Container
 	Resolution   string // e.g. "360p", "720p"
+	// Renditions is the bitrate ladder (bps, ascending): the same
+	// content encoded at every rung, sharing Duration and Container.
+	// Empty means a single-bitrate video at EncodingRate — the legacy
+	// shape every Table-1 player streams.
+	Renditions []float64
 }
 
 // Size returns the total video size in bytes.
 func (v Video) Size() int64 {
 	return int64(v.EncodingRate / 8 * v.Duration.Seconds())
+}
+
+// Ladder returns the rendition ladder: Renditions when present,
+// otherwise the one-rung ladder {EncodingRate}. Ladder rungs are
+// ascending bps; index len-1 is the top rung.
+func (v Video) Ladder() []float64 {
+	if len(v.Renditions) > 0 {
+		return v.Renditions
+	}
+	return []float64{v.EncodingRate}
+}
+
+// AtRung returns the per-rendition view of the video: the same entry
+// with EncodingRate set to ladder rung i (clamped), so Size, headers
+// and byte-range math all apply to that rendition's resource.
+func (v Video) AtRung(i int) Video {
+	ladder := v.Ladder()
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(ladder) {
+		i = len(ladder) - 1
+	}
+	v.EncodingRate = ladder[i]
+	return v
+}
+
+// WithLadder returns the video encoded at the given ascending ladder,
+// with EncodingRate pinned to the top rung.
+func (v Video) WithLadder(rates ...float64) Video {
+	v.Renditions = append([]float64(nil), rates...)
+	if len(rates) > 0 {
+		v.EncodingRate = rates[len(rates)-1]
+	}
+	return v
+}
+
+// RungIndex returns the ladder index whose bitrate matches rate to
+// within 1 kbps, or -1.
+func (v Video) RungIndex(rate float64) int {
+	for i, r := range v.Ladder() {
+		if diff := r - rate; diff < 1000 && diff > -1000 {
+			return i
+		}
+	}
+	return -1
 }
 
 // String identifies the video in logs.
@@ -131,6 +183,21 @@ func HeaderFor(v Video) []byte {
 	}
 }
 
+// FragHeaderRate scans b for a complete MP4 fragment header and
+// returns the bitrate (bps) it carries, or 0 when none is present.
+// Fragment bodies are media bytes and response headers are ASCII, so
+// the moof magic cannot occur except at a true fragment boundary;
+// this is how the analyzer segments per-rendition request cycles from
+// the wire alone. A header split across a segment boundary is not
+// recovered (the span simply continues at the previous rate).
+func FragHeaderRate(b []byte) float64 {
+	i := bytes.Index(b, moofMagic)
+	if i < 0 || i+MP4FragHeader > len(b) {
+		return 0
+	}
+	return float64(binary.BigEndian.Uint32(b[i+4:]))
+}
+
 // HeaderInfo is what a trace analyzer can recover from the first bytes
 // of a media stream.
 type HeaderInfo struct {
@@ -178,6 +245,11 @@ func ParseHeader(b []byte) (HeaderInfo, error) {
 // title; each video is encoded at every rung and the client chooses
 // adaptively (Akhshabi et al. [11]).
 var NetflixLadder = []float64{500e3, 1000e3, 1600e3, 2600e3, 3800e3}
+
+// DefaultLadder is the rendition ladder adaptive sessions stream when
+// a spec does not supply one: the NetflixLadder rungs, the ladder the
+// paper's adaptive clients actually switched across.
+func DefaultLadder() []float64 { return append([]float64(nil), NetflixLadder...) }
 
 // durationDist draws a plausible user-generated-content duration:
 // log-normal-ish around 3–4 minutes, clamped to [30 s, 60 min].

@@ -1,6 +1,7 @@
 package media
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -197,20 +198,64 @@ func TestNetflixDatasets(t *testing.T) {
 func TestDatasetsDeterministic(t *testing.T) {
 	a := YouFlash(50, 99)
 	b := YouFlash(50, 99)
-	for i := range a.Videos {
-		if a.Videos[i] != b.Videos[i] {
-			t.Fatal("same seed must generate identical datasets")
-		}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must generate identical datasets")
 	}
 	c := YouFlash(50, 100)
-	same := true
-	for i := range a.Videos {
-		if a.Videos[i] != c.Videos[i] {
-			same = false
-			break
-		}
-	}
+	same := reflect.DeepEqual(a.Videos, c.Videos)
 	if same {
 		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRenditionLadder(t *testing.T) {
+	v := sample()
+	if got := v.Ladder(); len(got) != 1 || got[0] != v.EncodingRate {
+		t.Fatalf("single-bitrate ladder = %v", got)
+	}
+	lv := v.WithLadder(NetflixLadder...)
+	if lv.EncodingRate != NetflixLadder[len(NetflixLadder)-1] {
+		t.Fatalf("WithLadder must pin the top rung, got %v", lv.EncodingRate)
+	}
+	if len(lv.Ladder()) != len(NetflixLadder) {
+		t.Fatalf("ladder = %v", lv.Ladder())
+	}
+	r0 := lv.AtRung(0)
+	if r0.EncodingRate != NetflixLadder[0] || r0.Duration != lv.Duration {
+		t.Fatalf("AtRung(0) = %+v", r0)
+	}
+	if lv.AtRung(-5).EncodingRate != NetflixLadder[0] || lv.AtRung(99).EncodingRate != NetflixLadder[len(NetflixLadder)-1] {
+		t.Fatal("AtRung must clamp")
+	}
+	if r0.Size() >= lv.Size() {
+		t.Fatal("a lower rung must be a smaller resource")
+	}
+	if lv.RungIndex(1600e3) != 2 || lv.RungIndex(777e3) != -1 {
+		t.Fatalf("RungIndex broken: %d, %d", lv.RungIndex(1600e3), lv.RungIndex(777e3))
+	}
+	// The template's own Renditions slice is not aliased.
+	shared := []float64{1e6, 2e6}
+	a := v.WithLadder(shared...)
+	shared[0] = 9e9
+	if a.Renditions[0] != 1e6 {
+		t.Fatal("WithLadder must copy the ladder")
+	}
+}
+
+func TestFragHeaderRate(t *testing.T) {
+	v := sample()
+	hdr := EncodeMP4FragHeader(v, 1600e3, 4*time.Second)
+	if got := FragHeaderRate(hdr); got != 1600e3 {
+		t.Fatalf("rate from header = %v", got)
+	}
+	// Mid-payload headers are found (HTTP response header in front).
+	payload := append([]byte("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\n"), hdr...)
+	payload = append(payload, make([]byte, 200)...)
+	if got := FragHeaderRate(payload); got != 1600e3 {
+		t.Fatalf("rate from mid-payload header = %v", got)
+	}
+	// Truncated headers and plain media bytes yield 0.
+	if FragHeaderRate(hdr[:10]) != 0 || FragHeaderRate(make([]byte, 1400)) != 0 || FragHeaderRate(nil) != 0 {
+		t.Fatal("false positive on truncated/zero payloads")
 	}
 }

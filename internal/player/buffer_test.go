@@ -1,0 +1,93 @@
+package player
+
+import (
+	"testing"
+	"time"
+)
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func TestBufferStartupDelay(t *testing.T) {
+	b := NewPlaybackBuffer(0, 4, 1e6)
+	// 1 Mbps content arriving: 4 media seconds = 500 kB.
+	b.AddBytes(sec(1), 250_000) // 2 s buffered
+	m := b.QoE(sec(1))
+	if m.Started {
+		t.Fatal("playback started below the threshold")
+	}
+	b.AddBytes(sec(3), 250_000) // 4 s buffered → start
+	m = b.QoE(sec(3))
+	if !m.Started || m.StartupDelay != sec(3) {
+		t.Fatalf("startup = %+v", m)
+	}
+	if m.Rebuffers != 0 {
+		t.Fatal("no stall yet")
+	}
+}
+
+func TestBufferStallAndResume(t *testing.T) {
+	b := NewPlaybackBuffer(0, 2, 1e6)
+	b.AddMedia(sec(0), 4, 4e6, -1) // start with 4 s
+	// Nothing arrives until t=10: the buffer ran dry at t=4.
+	b.AddMedia(sec(10), 1, 1e6, -1) // 1 s < threshold: still stalled
+	m := b.QoE(sec(10))
+	if m.Rebuffers != 1 {
+		t.Fatalf("rebuffers = %d, want 1", m.Rebuffers)
+	}
+	if m.RebufferTime != sec(6) {
+		t.Fatalf("open stall at eval = %v, want 6s", m.RebufferTime)
+	}
+	b.AddMedia(sec(12), 2, 2e6, -1) // 3 s buffered → resume at t=12
+	m = b.QoE(sec(12))
+	if m.Rebuffers != 1 || m.RebufferTime != sec(8) {
+		t.Fatalf("after resume: %+v", m)
+	}
+	if m.PlayedSec != 4 {
+		t.Fatalf("played %.1f s, want 4", m.PlayedSec)
+	}
+}
+
+func TestBufferEndOfContentIsNotAStall(t *testing.T) {
+	b := NewPlaybackBuffer(0, 1, 1e6)
+	b.AddMedia(sec(0), 5, 5e6, -1)
+	b.MarkEnded()
+	m := b.QoE(sec(60))
+	if m.Rebuffers != 0 || m.RebufferTime != 0 {
+		t.Fatalf("credits counted as stall: %+v", m)
+	}
+	if m.PlayedSec != 5 {
+		t.Fatalf("played %.1f s, want 5", m.PlayedSec)
+	}
+}
+
+func TestBufferRungAccounting(t *testing.T) {
+	b := NewPlaybackBuffer(0, 1, 1e6)
+	b.AddMedia(sec(0), 4, 4*500e3, 0)
+	b.AddMedia(sec(1), 4, 4*1600e3, 2)
+	b.NoteSwitch()
+	m := b.QoE(sec(1))
+	if len(m.RungSec) != 3 || m.RungSec[0] != 4 || m.RungSec[2] != 4 {
+		t.Fatalf("rung seconds = %v", m.RungSec)
+	}
+	if m.Switches != 1 {
+		t.Fatalf("switches = %d", m.Switches)
+	}
+	if want := (4*500e3 + 4*1600e3) / 8.0; m.MeanFetchedBps() != want {
+		t.Fatalf("mean fetched = %v, want %v", m.MeanFetchedBps(), want)
+	}
+}
+
+func TestBufferQoEIsNonMutating(t *testing.T) {
+	b := NewPlaybackBuffer(0, 2, 1e6)
+	b.AddMedia(sec(0), 3, 3e6, 1)
+	m1 := b.QoE(sec(30))
+	m2 := b.QoE(sec(30))
+	if m1.Rebuffers != m2.Rebuffers || m1.RebufferTime != m2.RebufferTime || m1.PlayedSec != m2.PlayedSec {
+		t.Fatalf("repeated QoE evaluation drifted: %+v vs %+v", m1, m2)
+	}
+	// The model itself must still be usable afterwards.
+	b.AddMedia(sec(31), 4, 4e6, 1)
+	if got := b.QoE(sec(31)); got.FetchedSec != 7 {
+		t.Fatalf("fetched %.1f s, want 7", got.FetchedSec)
+	}
+}

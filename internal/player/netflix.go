@@ -21,6 +21,7 @@ type netflixBase struct {
 	video      media.Video
 	downloaded int64
 	done       bool
+	buf        *PlaybackBuffer
 
 	// configuration
 	ladder     []float64 // bitrates fetched during buffering
@@ -41,10 +42,38 @@ type netflixBase struct {
 // Downloaded implements part of Player.
 func (nb *netflixBase) Downloaded() int64 { return nb.downloaded }
 
+// QoE implements part of Player.
+func (nb *netflixBase) QoE(at time.Duration) Metrics {
+	if nb.buf == nil {
+		return Metrics{}
+	}
+	return nb.buf.QoE(at)
+}
+
 func (nb *netflixBase) start(env *Env, v media.Video) {
 	nb.env = env
 	nb.video = v
 	nb.totalFrags = int(v.Duration / service.FragmentDuration)
+	// A video carrying its own rendition ladder only serves those
+	// rungs: snap the client's configured rates (defined against the
+	// default NetflixLadder) onto it, or every request would 404.
+	// Videos without explicit renditions — every legacy catalog —
+	// take the historical path untouched.
+	if len(v.Renditions) > 0 && len(nb.ladder) > 0 {
+		full := v.Ladder()
+		snapped := make([]float64, 0, len(nb.ladder))
+		for _, r := range nb.ladder {
+			s := nearestRung(full, r)
+			if len(snapped) == 0 || snapped[len(snapped)-1] != s {
+				snapped = append(snapped, s)
+			}
+		}
+		nb.ladder = snapped
+		nb.chosen = nearestRung(full, nb.chosen)
+	}
+	// Playback bookkeeping: bytes convert to media seconds at the
+	// steady-state bitrate; re-pinned after the adaptive probe.
+	nb.buf = NewPlaybackBuffer(env.Sch.Now(), LegacyStartupSec, nb.chosen)
 	// Buffering runs in two pipelined groups on one connection:
 	// first the ladder probe (fragments of every configured rung —
 	// Akhshabi et al. observed all encoding rates being fetched at
@@ -68,6 +97,7 @@ func (nb *netflixBase) start(env *Env, v media.Video) {
 			if elapsed := env.Sch.Now() - t0; elapsed > 0 {
 				thr := float64(nb.downloaded) * 8 / elapsed.Seconds()
 				nb.chosen = sustainableRung(nb.ladder, thr)
+				nb.buf.SetRate(nb.chosen)
 			}
 		}
 		var fill []fragJob
@@ -78,6 +108,24 @@ func (nb *netflixBase) start(env *Env, v media.Video) {
 		nb.nextFrag = nb.bufFrags + extra
 		nb.fetchGroup(cc, fill, nb.newConnPer, func() { nb.steadyState() })
 	})
+}
+
+// nearestRung returns the ladder rung closest to rate.
+func nearestRung(ladder []float64, rate float64) float64 {
+	best := ladder[0]
+	for _, r := range ladder {
+		d, bd := r-rate, best-rate
+		if d < 0 {
+			d = -d
+		}
+		if bd < 0 {
+			bd = -bd
+		}
+		if d < bd {
+			best = r
+		}
+	}
+	return best
 }
 
 // sustainableRung picks the highest ladder bitrate that fits within
@@ -115,6 +163,7 @@ func (nb *netflixBase) fetchGroup(cc *httpx.ClientConn, jobs []fragJob, closeAft
 	cc.OnBody(func(avail int) {
 		n := cc.DiscardBody(avail)
 		nb.downloaded += int64(n)
+		nb.buf.AddBytes(nb.env.Sch.Now(), int64(n))
 		got += int64(n)
 		if !fired && got >= expect {
 			fired = true
@@ -138,6 +187,7 @@ func (nb *netflixBase) fetchGroup(cc *httpx.ClientConn, jobs []fragJob, closeAft
 func (nb *netflixBase) steadyState() {
 	if nb.nextFrag >= nb.totalFrags {
 		nb.done = true
+		nb.buf.MarkEnded()
 		return
 	}
 	const accum = 1.1
@@ -145,6 +195,9 @@ func (nb *netflixBase) steadyState() {
 	var tick func()
 	tick = func() {
 		if nb.done || nb.nextFrag >= nb.totalFrags {
+			if nb.nextFrag >= nb.totalFrags {
+				nb.buf.MarkEnded()
+			}
 			nb.done = true
 			return
 		}

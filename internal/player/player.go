@@ -1,14 +1,25 @@
 // Package player implements the client applications whose read/pull
 // behaviour determines the streaming strategy (Table 1): browser
 // players (Flash plugin, IE/Firefox/Chrome HTML5), the native YouTube
-// apps (Android, iPad) and the Netflix clients (Silverlight on PCs,
-// native iPad and Android apps).
+// apps (Android, iPad), the Netflix clients (Silverlight on PCs,
+// native iPad and Android apps), and the segmented adaptive-bitrate
+// player (ABRPlayer) that switches rendition-ladder rungs via an
+// abr.Controller.
 //
-// The central mechanism is read pacing: a player that stops reading
-// lets the TCP receive buffer fill, the advertised window closes, and
-// the server stalls — producing the OFF periods of Section 3 without
-// any server cooperation. Server-paced strategies (Flash) read
-// continuously and inherit the server's ON-OFF schedule instead.
+// The package is built from three orthogonal parts:
+//
+//   - the read-pacing engine (pacer): a player that stops reading lets
+//     the TCP receive buffer fill, the advertised window closes, and
+//     the server stalls — producing the OFF periods of Section 3
+//     without any server cooperation;
+//   - the playback-buffer model (PlaybackBuffer): an analytic account
+//     of the client's media buffer — fill on download, drain at the
+//     encoded bitrate, startup threshold, stall/resume bookkeeping —
+//     that yields the QoE metrics (startup delay, rebuffering, rung
+//     occupancy) without scheduling a single event, so wire traces
+//     are byte-identical with or without it;
+//   - the ABR decision loop (ABRPlayer + abr.Controller): which rung
+//     of the rendition ladder the next chunk is fetched at.
 package player
 
 import (
@@ -41,11 +52,23 @@ type Player interface {
 	Start(env *Env, v media.Video)
 	// Downloaded reports total media bytes consumed so far.
 	Downloaded() int64
+	// QoE reports the playback-buffer metrics accumulated up to time
+	// at (typically the capture horizon). A player that never started
+	// returns the zero Metrics.
+	QoE(at time.Duration) Metrics
 }
 
-// puller implements read pacing over one ClientConn: an initial
-// continuous phase until bufferingTarget bytes, then fixed-size pulls
-// on a timer calibrated to accumulation ratio accum.
+// LegacyStartupSec is the playback threshold the single-bitrate
+// players' buffer models use: playback begins once this many media
+// seconds are buffered.
+const LegacyStartupSec = 2.0
+
+// puller is the read-pacing engine behind the single-connection
+// players: an initial continuous phase until target bytes, then
+// fixed-size pulls on a timer calibrated to accumulation ratio accum.
+// It owns the wire behaviour only; the attached PlaybackBuffer is a
+// pure observer and never schedules events, so the packet trace is
+// exactly what the pre-decomposition monolith produced.
 type puller struct {
 	env    *Env
 	cc     *httpx.ClientConn
@@ -58,6 +81,8 @@ type puller struct {
 	allowance  int64 // bytes currently allowed to be consumed
 	buffering  bool
 	done       bool
+
+	buf *PlaybackBuffer // playback bookkeeping (observer only)
 }
 
 // startPulling wires the puller to the connection and begins the
@@ -65,6 +90,7 @@ type puller struct {
 func (p *puller) startPulling() {
 	p.buffering = true
 	p.allowance = 1<<62 - 1 // unconstrained during buffering
+	p.buf = NewPlaybackBuffer(p.env.Sch.Now(), LegacyStartupSec, p.video.EncodingRate)
 	p.cc.OnBody(func(int) { p.drain() })
 }
 
@@ -85,6 +111,7 @@ func (p *puller) drain() {
 			break
 		}
 		p.downloaded += int64(n)
+		p.buf.AddBytes(p.env.Sch.Now(), int64(n))
 		if !p.buffering {
 			p.allowance -= int64(n)
 		}
@@ -95,6 +122,7 @@ func (p *puller) drain() {
 	}
 	if p.cc.BodyRemaining() == 0 && p.downloaded > 0 {
 		p.done = true
+		p.buf.MarkEnded()
 	}
 }
 
@@ -114,6 +142,14 @@ func (p *puller) enterSteadyState() {
 		}
 	}
 	p.env.Sch.After(period, tick)
+}
+
+// qoe reports the puller's playback metrics (zero before Start).
+func (p *puller) qoe(at time.Duration) Metrics {
+	if p == nil || p.buf == nil {
+		return Metrics{}
+	}
+	return p.buf.QoE(at)
 }
 
 // openConn dials the service and returns a ClientConn.

@@ -33,6 +33,9 @@ func (f *FlashPlayer) Downloaded() int64 {
 	return f.p.downloaded
 }
 
+// QoE implements Player.
+func (f *FlashPlayer) QoE(at time.Duration) Metrics { return f.p.qoe(at) }
+
 // Start implements Player.
 func (f *FlashPlayer) Start(env *Env, v media.Video) {
 	cc := openConn(env, tcp.Config{RecvBuf: 512 << 10})
@@ -61,6 +64,9 @@ func (ie *IEHtml5) Downloaded() int64 {
 	}
 	return ie.p.downloaded
 }
+
+// QoE implements Player.
+func (ie *IEHtml5) QoE(at time.Duration) Metrics { return ie.p.qoe(at) }
 
 // Start implements Player.
 func (ie *IEHtml5) Start(env *Env, v media.Video) {
@@ -95,6 +101,9 @@ func (ff *FirefoxHtml5) Downloaded() int64 {
 	return ff.p.downloaded
 }
 
+// QoE implements Player.
+func (ff *FirefoxHtml5) QoE(at time.Duration) Metrics { return ff.p.qoe(at) }
+
 // Start implements Player.
 func (ff *FirefoxHtml5) Start(env *Env, v media.Video) {
 	cc := openConn(env, tcp.Config{RecvBuf: 16 << 20})
@@ -121,6 +130,9 @@ func (ch *ChromeHtml5) Downloaded() int64 {
 	}
 	return ch.p.downloaded
 }
+
+// QoE implements Player.
+func (ch *ChromeHtml5) QoE(at time.Duration) Metrics { return ch.p.qoe(at) }
 
 // Start implements Player.
 func (ch *ChromeHtml5) Start(env *Env, v media.Video) {
@@ -156,6 +168,9 @@ func (a *AndroidYouTube) Downloaded() int64 {
 	return a.p.downloaded
 }
 
+// QoE implements Player.
+func (a *AndroidYouTube) QoE(at time.Duration) Metrics { return a.p.qoe(at) }
+
 // Start implements Player.
 func (a *AndroidYouTube) Start(env *Env, v media.Video) {
 	cc := openConn(env, tcp.Config{RecvBuf: 1 << 20})
@@ -183,6 +198,7 @@ type IPadYouTube struct {
 	fileSize   int64
 	offset     int64
 	done       bool
+	buf        *PlaybackBuffer
 }
 
 // NewIPadYouTube builds the model.
@@ -193,6 +209,14 @@ func (ip *IPadYouTube) Name() string { return "YouTube app (iPad)" }
 
 // Downloaded implements Player.
 func (ip *IPadYouTube) Downloaded() int64 { return ip.downloaded }
+
+// QoE implements Player.
+func (ip *IPadYouTube) QoE(at time.Duration) Metrics {
+	if ip.buf == nil {
+		return Metrics{}
+	}
+	return ip.buf.QoE(at)
+}
 
 // blockBytes is the rate-dependent request size of Figure 7b: roughly
 // linear in the encoding rate, from 64 kB up to 8 MB.
@@ -209,6 +233,7 @@ func (ip *IPadYouTube) Start(env *Env, v media.Video) {
 	ip.env = env
 	ip.video = v
 	ip.fileSize = v.Size() + int64(media.WebMHeaderSize)
+	ip.buf = NewPlaybackBuffer(env.Sch.Now(), LegacyStartupSec, v.EncodingRate)
 	// Initial buffering: a burst of back-to-back range requests.
 	burst := minI64(int64(4<<20)+int64(env.Rand().Float64()*float64(2<<20)), ip.fileSize)
 	ip.fetchSequence(burst, func() { ip.steadyCycle() })
@@ -221,6 +246,7 @@ func (ip *IPadYouTube) fetchSequence(total int64, done func()) {
 	if ip.done || ip.offset >= ip.fileSize || total <= 0 {
 		if ip.offset >= ip.fileSize {
 			ip.done = true
+			ip.buf.MarkEnded()
 		}
 		done()
 		return
@@ -234,6 +260,7 @@ func (ip *IPadYouTube) fetchSequence(total int64, done func()) {
 		m := cc.DiscardBody(avail)
 		got += int64(m)
 		ip.downloaded += int64(m)
+		ip.buf.AddBytes(ip.env.Sch.Now(), int64(m))
 		if cc.BodyRemaining() == 0 {
 			cc.Conn.Close()
 			ip.fetchSequence(total-n, done)

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -64,6 +65,11 @@ type Fleet struct {
 	// statistics merge exactly, so results depend on the shard count
 	// but never on the worker count. Default 1.
 	Shards int
+	// Down is a dynamics timeline applied to every aggregation
+	// downstream link of every shard — the fleet-scale form of the
+	// PR 2 rate-drop scenarios (mid-run congestion at the contended
+	// tier). Empty leaves the links frozen.
+	Down netem.Dynamics
 	// UtilBin is the width of the fixed-width utilization/concurrency
 	// bins; 0 → 1 s.
 	UtilBin time.Duration
@@ -96,9 +102,14 @@ func ParseMix(s string) ([]MixEntry, error) {
 		name, weight := part, 1
 		if i := strings.IndexByte(part, ':'); i >= 0 {
 			name = part[:i]
-			if _, err := fmt.Sscanf(part[i+1:], "%d", &weight); err != nil {
+			w, err := strconv.Atoi(strings.TrimSpace(part[i+1:]))
+			if err != nil {
 				return nil, fmt.Errorf("mix %q: bad weight in %q", s, part)
 			}
+			weight = w
+		}
+		if weight <= 0 {
+			return nil, fmt.Errorf("mix %q: non-positive weight in %q", s, part)
 		}
 		kind, ok := PlayerKindByName(name)
 		if !ok {
@@ -188,6 +199,9 @@ func (f Fleet) Validate() error {
 	if f.Warmup >= f.Duration {
 		return fmt.Errorf("fleet %q: warmup %v >= duration %v", f.Name, f.Warmup, f.Duration)
 	}
+	if err := f.Down.Validate(); err != nil {
+		return fmt.Errorf("fleet %q down: %w", f.Name, err)
+	}
 	return nil
 }
 
@@ -207,11 +221,17 @@ func (f Fleet) pattern() []PlayerKind {
 
 // fleetVideo is client i's content: the template with a consecutive ID
 // and the client's native container, so a mixed fleet streams each
-// kind its own format.
+// kind its own format. An adaptive client with no explicit ladder gets
+// the default one — applied per client, never to the shared template,
+// so legacy kinds in a mixed fleet keep the template's bitrate instead
+// of being silently re-pinned to the ladder's top rung.
 func (f Fleet) fleetVideo(i int, kind PlayerKind) media.Video {
 	v := f.Video
 	v.ID += i
 	v.Container = kind.NativeContainer()
+	if kind.Adaptive() && len(v.Renditions) == 0 {
+		v = v.WithLadder(media.DefaultLadder()...)
+	}
 	return v
 }
 
@@ -226,6 +246,16 @@ type FleetResult struct {
 	// Per-client QoE sketches (merged across shards, exact merge).
 	RateMbps   *stats.Sketch // mean goodput over each client's active period
 	StartupSec *stats.Sketch // arrival → first payload byte
+
+	// Playback QoE sketches (merged across shards): the buffer-model
+	// outcomes of every client.
+	RebufCount  *stats.Sketch // rebuffer events per client
+	RebufSec    *stats.Sketch // total rebuffer seconds per client
+	SwitchCount *stats.Sketch // rendition switches per client
+	FetchedMbps *stats.Sketch // duration-weighted mean fetched bitrate
+	// RungSec is fetched media seconds per ladder rung, summed
+	// fleet-wide (nil when no client streamed a ladder).
+	RungSec []float64
 
 	// Per-tier downstream utilization: wire bytes per UtilBin bin,
 	// summed over every link of the tier (and every shard).
@@ -302,9 +332,36 @@ func (r *FleetResult) Render() string {
 		r.ActiveClients, r.StarvedClients)
 	fmt.Fprintf(&b, "  startup        : p50 %.2f s  p90 %.2f s\n",
 		r.StartupSec.Quantile(0.5), r.StartupSec.Quantile(0.9))
+	fmt.Fprintf(&b, "  playback       : rebuffers p50 %.0f (p90 %.0f), %.1f s stalled p90, switches p50 %.0f\n",
+		r.RebufCount.Quantile(0.5), r.RebufCount.Quantile(0.9),
+		r.RebufSec.Quantile(0.9), r.SwitchCount.Quantile(0.5))
+	if shares := r.RungShare(); shares != nil {
+		fmt.Fprintf(&b, "  rung occupancy :")
+		for i, s := range shares {
+			fmt.Fprintf(&b, " r%d %.0f%%", i, s*100)
+		}
+		fmt.Fprintf(&b, "  (mean fetched %.2f Mbps p50)\n", r.FetchedMbps.Quantile(0.5))
+	}
 	fmt.Fprintf(&b, "  core loss      : %.3f%% (%d/%d)  agg drops %d  access drops %d\n",
 		r.InducedCoreLoss*100, r.CoreDropped, r.CoreOffered, r.AggDropped, r.AccessDropped)
 	return b.String()
+}
+
+// RungShare returns each ladder rung's share of the fetched media
+// time, nil when no client streamed a ladder.
+func (r *FleetResult) RungShare() []float64 {
+	var total float64
+	for _, s := range r.RungSec {
+		total += s
+	}
+	if total <= 0 {
+		return nil
+	}
+	out := make([]float64, len(r.RungSec))
+	for i, s := range r.RungSec {
+		out[i] = s / total
+	}
+	return out
 }
 
 // fleetClient is the whole per-client state a fleet run keeps: ~5
@@ -393,6 +450,16 @@ func RunFleet(o runner.Options, f Fleet) *FleetResult {
 		res.Groups += sh.Groups
 		res.RateMbps.Merge(sh.RateMbps)
 		res.StartupSec.Merge(sh.StartupSec)
+		res.RebufCount.Merge(sh.RebufCount)
+		res.RebufSec.Merge(sh.RebufSec)
+		res.SwitchCount.Merge(sh.SwitchCount)
+		res.FetchedMbps.Merge(sh.FetchedMbps)
+		for len(res.RungSec) < len(sh.RungSec) {
+			res.RungSec = append(res.RungSec, 0)
+		}
+		for i, sec := range sh.RungSec {
+			res.RungSec[i] += sec
+		}
 		res.CoreUtil.Merge(sh.CoreUtil)
 		res.AggUtil.Merge(sh.AggUtil)
 		res.AccessUtil.Merge(sh.AccessUtil)
@@ -436,6 +503,10 @@ func runFleetShard(f Fleet, from, to int) *FleetResult {
 		Clients:           n,
 		RateMbps:          stats.NewSketch(f.QuantErr),
 		StartupSec:        stats.NewSketch(f.QuantErr),
+		RebufCount:        stats.NewSketch(f.QuantErr),
+		RebufSec:          stats.NewSketch(f.QuantErr),
+		SwitchCount:       stats.NewSketch(f.QuantErr),
+		FetchedMbps:       stats.NewSketch(f.QuantErr),
 		CoreUtil:          stats.NewBinned(f.UtilBin, f.Duration),
 		AggUtil:           stats.NewBinned(f.UtilBin, f.Duration),
 		AccessUtil:        stats.NewBinned(f.UtilBin, f.Duration),
@@ -477,10 +548,12 @@ func runFleetShard(f Fleet, from, to int) *FleetResult {
 		host.SetSegmentPool(pool)
 		host.SetLink(tree.Attach(addr, host))
 		// A freshly created aggregation link gets its burstiness
-		// series and the shared tier accumulator.
+		// series, the shared tier accumulator, and the fleet's
+		// dynamics timeline.
 		if g := tree.Group(j); g == len(perAgg) {
 			perAgg = append(perAgg, stats.NewBinned(f.UtilBin, f.Duration))
 			tree.AggDown[g].AddTap(utilTap{bins: []*stats.Binned{res.AggUtil, perAgg[g]}})
+			f.Down.Apply(sch, tree.AggDown[g])
 		}
 		clients[j] = fleetClient{start: starts[j], first: -1}
 		tree.AccessDown[j].AddTap(clientTap{c: &clients[j], util: res.AccessUtil})
@@ -500,6 +573,17 @@ func runFleetShard(f Fleet, from, to int) *FleetResult {
 	for j := range clients {
 		c := &clients[j]
 		res.Downloaded += players[j].Downloaded()
+		q := players[j].QoE(sch.Now())
+		res.RebufCount.Add(float64(q.Rebuffers))
+		res.RebufSec.Add(q.RebufferTime.Seconds())
+		res.SwitchCount.Add(float64(q.Switches))
+		res.FetchedMbps.Add(q.MeanFetchedBps() / 1e6)
+		for len(res.RungSec) < len(q.RungSec) {
+			res.RungSec = append(res.RungSec, 0)
+		}
+		for r, sec := range q.RungSec {
+			res.RungSec[r] += sec
+		}
 		if c.first < 0 {
 			res.StarvedClients++
 			res.RateMbps.Add(0)

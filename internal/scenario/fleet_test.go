@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/netem"
 	"repro/internal/packet"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -51,6 +52,40 @@ func TestFleetDeterministicAcrossWorkers(t *testing.T) {
 	// vfleet print must not depend on the pool size either.
 	if seq.Render() != par.Render() {
 		t.Fatal("rendered artifacts differ between worker counts")
+	}
+}
+
+// TestFleetAbrDeterministicAcrossWorkers is the adaptive twin of the
+// worker-count determinism guarantee, at the acceptance scale (1,000
+// clients outside -race): an ABR fleet under the PR 2 rate-drop
+// timeline — controllers reacting to mid-run congestion at the
+// aggregation tier — produces a bit-identical FleetResult (QoE
+// sketches, rung occupancy and all) for one worker and one worker per
+// CPU.
+func TestFleetAbrDeterministicAcrossWorkers(t *testing.T) {
+	f := Fleet{
+		Mix:      []MixEntry{{Player: AbrBuffer, Weight: 2}, {Player: AbrRate, Weight: 1}, {Player: AbrFixed, Weight: 1}},
+		Clients:  fleetDetClients,
+		Duration: 30 * time.Second,
+		Arrival:  Arrival{Kind: Staggered, Window: 8 * time.Second},
+		Down:     netem.Dynamics{}.Then(netem.RateStep(10*time.Second, 20*netem.Mbps)),
+		Seed:     17,
+		Shards:   4,
+	}
+	seq := RunFleet(runner.Options{Workers: 1}, f)
+	par := RunFleet(runner.Options{Workers: runtime.NumCPU() + 3}, f)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("ABR fleet result differs between worker counts:\nseq: %s\npar: %s",
+			seq.Render(), par.Render())
+	}
+	if seq.Render() != par.Render() {
+		t.Fatal("rendered artifacts differ between worker counts")
+	}
+	if seq.RungShare() == nil {
+		t.Fatal("adaptive fleet reported no rung occupancy")
+	}
+	if seq.FetchedMbps.Quantile(0.5) <= 0 {
+		t.Fatalf("adaptive fleet fetched nothing: %s", seq.Render())
 	}
 }
 
@@ -208,5 +243,26 @@ func TestFleetValidate(t *testing.T) {
 	ok := Fleet{Mix: []MixEntry{{Player: Flash, Weight: 1}}, Clients: 10}
 	if err := ok.Validate(); err != nil {
 		t.Fatalf("valid fleet rejected: %v", err)
+	}
+}
+
+// TestMixedFleetKeepsLegacyBitrate: adding an adaptive kind to a mix
+// must not re-pin the shared video template — only the adaptive
+// clients get the default ladder, applied per client.
+func TestMixedFleetKeepsLegacyBitrate(t *testing.T) {
+	f := Fleet{Mix: []MixEntry{
+		{Player: SilverlightPC, Weight: 1},
+		{Player: AbrBuffer, Weight: 1},
+	}}.withDefaults()
+	if len(f.Video.Renditions) != 0 || f.Video.EncodingRate != 1.75e6 {
+		t.Fatalf("shared template mutated by the adaptive mix entry: %+v", f.Video)
+	}
+	legacy := f.fleetVideo(0, SilverlightPC)
+	if len(legacy.Renditions) != 0 || legacy.EncodingRate != 1.75e6 {
+		t.Fatalf("legacy client video mutated: %+v", legacy)
+	}
+	adaptive := f.fleetVideo(1, AbrBuffer)
+	if len(adaptive.Renditions) == 0 {
+		t.Fatalf("adaptive client got no ladder: %+v", adaptive)
 	}
 }

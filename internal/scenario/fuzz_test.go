@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -61,6 +62,60 @@ func FuzzParseDynamics(f *testing.F) {
 			if st.SetRate && st.Rate < 0 {
 				t.Fatalf("ParseDynamics(%q) accepted a negative rate %v", spec, st.Rate)
 			}
+		}
+	})
+}
+
+// FuzzParseMix drives the strategy-mix parser with arbitrary specs.
+// Properties: no panics; any accepted mix has only positive weights
+// and resolvable player kinds; and the mix round-trips through its
+// String rendering — MixString re-parses to the identical entry list.
+func FuzzParseMix(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"flash",
+		"flash:2+firefox:1",
+		"flash,chrome",
+		"abr-buffer:3+abr-rate:1",
+		"flash:0",
+		"flash:-1",
+		"flash:2x",
+		"flash:+2",
+		":3",
+		"flash:",
+		"+",
+		",,,",
+		" flash : 2 ",
+		"netflix-ipad:999999",
+		"flash:2+flash:2",
+		"winamp:1",
+		"flash\x00:1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		mix, err := ParseMix(spec)
+		if err != nil {
+			return
+		}
+		if len(mix) == 0 {
+			t.Fatalf("ParseMix(%q) accepted an empty mix", spec)
+		}
+		for _, e := range mix {
+			if e.Weight <= 0 {
+				t.Fatalf("ParseMix(%q) accepted non-positive weight %d for %s", spec, e.Weight, e.Player)
+			}
+			if _, ok := PlayerKindByName(e.Player.String()); !ok {
+				t.Fatalf("ParseMix(%q) produced unresolvable kind %v", spec, e.Player)
+			}
+		}
+		rendered := Fleet{Mix: mix}.MixString()
+		again, err := ParseMix(rendered)
+		if err != nil {
+			t.Fatalf("MixString %q of accepted mix %q does not re-parse: %v", rendered, spec, err)
+		}
+		if !reflect.DeepEqual(mix, again) {
+			t.Fatalf("mix %q does not round-trip: %v -> %q -> %v", spec, mix, rendered, again)
 		}
 	})
 }

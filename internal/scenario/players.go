@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/abr"
 	"repro/internal/media"
 	"repro/internal/player"
 	"repro/internal/session"
@@ -15,7 +16,10 @@ import (
 // instance, which New provides.
 type PlayerKind int
 
-// The nine clients of the paper (six YouTube, three Netflix).
+// The nine clients of the paper (six YouTube, three Netflix), plus
+// the adaptive-bitrate players (segmented fetch loop + rendition
+// ladder) the paper-era clients evolved into. Legacy indices are
+// frozen — the ABR kinds append.
 const (
 	Flash PlayerKind = iota
 	IEHtml5
@@ -26,24 +30,48 @@ const (
 	SilverlightPC
 	NetflixIPad
 	NetflixAndroid
+	// AbrFixed pins the top ladder rung via the null controller: the
+	// single-bitrate player expressed in the composable core, and the
+	// stall-prone baseline of the rate-drop headline.
+	AbrFixed
+	// AbrRate switches on a throughput EWMA (the classic rate rule).
+	AbrRate
+	// AbrBuffer switches on the buffer level (BBA reservoir/cushion).
+	AbrBuffer
+	// AbrRange is the buffer-based controller fetching per-rendition
+	// byte ranges from YouTube instead of Netflix-style fragments.
+	AbrRange
 )
 
 // playerTable maps kinds to their metadata and factories.
 var playerTable = []struct {
-	kind    PlayerKind
-	name    string
-	service session.ServiceKind
-	mk      func() player.Player
+	kind     PlayerKind
+	name     string
+	service  session.ServiceKind
+	adaptive bool
+	mk       func() player.Player
 }{
-	{Flash, "flash", session.YouTube, func() player.Player { return player.NewFlashPlayer("Internet Explorer") }},
-	{IEHtml5, "ie", session.YouTube, func() player.Player { return player.NewIEHtml5() }},
-	{FirefoxHtml5, "firefox", session.YouTube, func() player.Player { return player.NewFirefoxHtml5() }},
-	{ChromeHtml5, "chrome", session.YouTube, func() player.Player { return player.NewChromeHtml5() }},
-	{AndroidYouTube, "android-yt", session.YouTube, func() player.Player { return player.NewAndroidYouTube() }},
-	{IPadYouTube, "ipad-yt", session.YouTube, func() player.Player { return player.NewIPadYouTube() }},
-	{SilverlightPC, "silverlight", session.Netflix, func() player.Player { return player.NewSilverlightPC("Internet Explorer") }},
-	{NetflixIPad, "netflix-ipad", session.Netflix, func() player.Player { return player.NewNetflixIPad() }},
-	{NetflixAndroid, "netflix-android", session.Netflix, func() player.Player { return player.NewNetflixAndroid() }},
+	{Flash, "flash", session.YouTube, false, func() player.Player { return player.NewFlashPlayer("Internet Explorer") }},
+	{IEHtml5, "ie", session.YouTube, false, func() player.Player { return player.NewIEHtml5() }},
+	{FirefoxHtml5, "firefox", session.YouTube, false, func() player.Player { return player.NewFirefoxHtml5() }},
+	{ChromeHtml5, "chrome", session.YouTube, false, func() player.Player { return player.NewChromeHtml5() }},
+	{AndroidYouTube, "android-yt", session.YouTube, false, func() player.Player { return player.NewAndroidYouTube() }},
+	{IPadYouTube, "ipad-yt", session.YouTube, false, func() player.Player { return player.NewIPadYouTube() }},
+	{SilverlightPC, "silverlight", session.Netflix, false, func() player.Player { return player.NewSilverlightPC("Internet Explorer") }},
+	{NetflixIPad, "netflix-ipad", session.Netflix, false, func() player.Player { return player.NewNetflixIPad() }},
+	{NetflixAndroid, "netflix-android", session.Netflix, false, func() player.Player { return player.NewNetflixAndroid() }},
+	{AbrFixed, "abr-fixed", session.Netflix, true, func() player.Player {
+		return player.NewABRPlayer(player.ABRConfig{Controller: abr.NewFixed(-1)})
+	}},
+	{AbrRate, "abr-rate", session.Netflix, true, func() player.Player {
+		return player.NewABRPlayer(player.ABRConfig{Controller: abr.NewRateBased()})
+	}},
+	{AbrBuffer, "abr-buffer", session.Netflix, true, func() player.Player {
+		return player.NewABRPlayer(player.ABRConfig{Controller: abr.NewBufferBased()})
+	}},
+	{AbrRange, "abr-range", session.YouTube, true, func() player.Player {
+		return player.NewABRPlayer(player.ABRConfig{Controller: abr.NewBufferBased(), Source: player.Ranges})
+	}},
 }
 
 // New returns a fresh player instance of this kind.
@@ -56,15 +84,22 @@ func (k PlayerKind) Service() session.ServiceKind {
 	return playerTable[k].service
 }
 
+// Adaptive reports whether the kind is an ABR player, i.e. streams a
+// rendition ladder rather than one bitrate. Specs give adaptive kinds
+// the default ladder when the video carries none.
+func (k PlayerKind) Adaptive() bool {
+	return playerTable[k].adaptive
+}
+
 // NativeContainer returns the container this client streams in: FLV
-// for the Flash plugin, MP4 fragments for the Netflix clients, WebM
-// for every HTML5/native YouTube player. Specs and experiments share
-// this single mapping.
+// for the Flash plugin, MP4 fragments for the Netflix clients and the
+// fragment-fetching ABR kinds, WebM for every HTML5/native YouTube
+// player. Specs and experiments share this single mapping.
 func (k PlayerKind) NativeContainer() media.Container {
 	switch k {
 	case Flash:
 		return media.Flash
-	case SilverlightPC, NetflixIPad, NetflixAndroid:
+	case SilverlightPC, NetflixIPad, NetflixAndroid, AbrFixed, AbrRate, AbrBuffer:
 		return media.Silverlight
 	default:
 		return media.HTML5

@@ -100,6 +100,11 @@ func (s Spec) withDefaults() Spec {
 	if s.Video.Duration <= 0 {
 		s.Video.Duration = 420 * time.Second
 	}
+	// An adaptive player needs a ladder to switch across; the default
+	// is the paper-era Netflix ladder.
+	if s.Player.Adaptive() && len(s.Video.Renditions) == 0 {
+		s.Video = s.Video.WithLadder(media.DefaultLadder()...)
+	}
 	if s.Name == "" {
 		s.Name = fmt.Sprintf("%s/%s x%d", s.Profile.Name, s.Player, s.Sessions)
 	}
@@ -173,6 +178,8 @@ type Outcome struct {
 	// Trace is the buffered capture; nil unless Spec.Buffered.
 	Trace    *trace.Trace
 	Analysis *analysis.Result
+	// QoE is the client's playback-buffer outcome at the horizon.
+	QoE player.Metrics
 }
 
 // SharedResult is everything a shared-bottleneck run produced.
@@ -298,6 +305,7 @@ func RunShared(s Spec) *SharedResult {
 	for i := range res.Outcomes {
 		o := &res.Outcomes[i]
 		o.Downloaded = players[i].Downloaded()
+		o.QoE = players[i].QoE(sch.Now())
 		o.Analysis = streams[i].Result()
 		o.Packets = o.Analysis.Packets
 		aggregate += o.Analysis.TotalBytes

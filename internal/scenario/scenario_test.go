@@ -12,8 +12,20 @@ import (
 
 func TestPlayerKindRegistry(t *testing.T) {
 	kinds := PlayerKinds()
-	if len(kinds) != 9 {
-		t.Fatalf("want 9 player kinds, got %d", len(kinds))
+	if len(kinds) != 13 {
+		t.Fatalf("want 13 player kinds (9 legacy + 4 ABR), got %d", len(kinds))
+	}
+	legacy := 0
+	for _, k := range kinds {
+		if !k.Adaptive() {
+			legacy++
+		}
+	}
+	if legacy != 9 {
+		t.Fatalf("want the paper's 9 legacy kinds, got %d", legacy)
+	}
+	if !AbrBuffer.Adaptive() || Flash.Adaptive() {
+		t.Fatal("Adaptive() misclassifies kinds")
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {

@@ -38,36 +38,80 @@ const (
 // FragmentDuration is the Netflix fragment length.
 const FragmentDuration = 4 * time.Second
 
+// Catalog is the id→video lookup both services share: one map from
+// video IDs to their metadata, independent of which front end serves
+// the bytes.
+type Catalog struct {
+	vids map[int]media.Video
+}
+
+// NewCatalog builds a catalog over the given videos.
+func NewCatalog(videos []media.Video) *Catalog {
+	c := &Catalog{vids: make(map[int]media.Video, len(videos))}
+	for _, v := range videos {
+		c.vids[v.ID] = v
+	}
+	return c
+}
+
+// Add registers one more entry.
+func (c *Catalog) Add(v media.Video) { c.vids[v.ID] = v }
+
+// Get looks an entry up.
+func (c *Catalog) Get(id int) (media.Video, bool) {
+	v, ok := c.vids[id]
+	return v, ok
+}
+
+// Rendition resolves id at the given bitrate (bps): the per-rendition
+// view of the entry when the rate is a ladder rung, ok=false
+// otherwise.
+func (c *Catalog) Rendition(id int, rate float64) (media.Video, bool) {
+	v, ok := c.vids[id]
+	if !ok {
+		return media.Video{}, false
+	}
+	i := v.RungIndex(rate)
+	if i < 0 {
+		return media.Video{}, false
+	}
+	return v.AtRung(i), true
+}
+
 // YouTube is the simulated YouTube front end.
 type YouTube struct {
-	sch     *sim.Scheduler
-	catalog map[int]media.Video
+	sch *sim.Scheduler
+	cat *Catalog
 }
 
 // NewYouTube registers the service on host:80 and returns it. The
 // catalog maps video IDs to their metadata.
 func NewYouTube(host *tcp.Host, cfg tcp.Config, videos []media.Video) *YouTube {
-	y := &YouTube{sch: host.Scheduler(), catalog: map[int]media.Video{}}
-	for _, v := range videos {
-		y.catalog[v.ID] = v
-	}
+	y := &YouTube{sch: host.Scheduler(), cat: NewCatalog(videos)}
 	httpx.NewServer(host, 80, cfg, y.handle)
 	return y
 }
 
 // AddVideo registers one more catalog entry.
-func (y *YouTube) AddVideo(v media.Video) { y.catalog[v.ID] = v }
+func (y *YouTube) AddVideo(v media.Video) { y.cat.Add(v) }
 
-// handle serves /videoplayback/<id>. The streaming strategy decision
-// is the server's: paced for Flash at default resolutions, bulk for
-// HD and WebM.
+// handle serves /videoplayback/<id> (the legacy single-bitrate
+// resource, server-paced for Flash at default resolutions) and
+// /videoplayback/<id>/<kbps> (a per-rendition resource at one ladder
+// rung, always client-driven — the DASH-over-ranges surface the ABR
+// player pulls byte ranges from).
 func (y *YouTube) handle(req *httpx.Request, w httpx.ResponseWriter) {
-	id, err := strconv.Atoi(strings.TrimPrefix(req.Path, "/videoplayback/"))
+	rest := strings.TrimPrefix(req.Path, "/videoplayback/")
+	if idStr, kbpsStr, isRendition := strings.Cut(rest, "/"); isRendition {
+		y.handleRendition(req, w, idStr, kbpsStr)
+		return
+	}
+	id, err := strconv.Atoi(rest)
 	if err != nil {
 		w.WriteHeader(404, map[string]string{"Content-Length": "0"})
 		return
 	}
-	v, ok := y.catalog[id]
+	v, ok := y.cat.Get(id)
 	if !ok {
 		w.WriteHeader(404, map[string]string{"Content-Length": "0"})
 		return
@@ -104,6 +148,50 @@ func (y *YouTube) handle(req *httpx.Request, w httpx.ResponseWriter) {
 	}
 	// HD and WebM: dump the whole file; any rate limiting is the
 	// client's problem (or nobody's — Figure 8).
+	w.Write(header)
+	w.WriteZero(int(fileSize) - len(header))
+}
+
+// handleRendition serves one rung of the rendition ladder as its own
+// byte-addressable resource. No server pacing ever applies — rate
+// control at a rendition endpoint is the client's request schedule —
+// and the full Range grammar is honoured: suffix ranges, ranges
+// clamped at EOF, 416 for unsatisfiable ones.
+func (y *YouTube) handleRendition(req *httpx.Request, w httpx.ResponseWriter, idStr, kbpsStr string) {
+	id, err1 := strconv.Atoi(idStr)
+	kbps, err2 := strconv.Atoi(kbpsStr)
+	if err1 != nil || err2 != nil {
+		w.WriteHeader(404, map[string]string{"Content-Length": "0"})
+		return
+	}
+	rv, ok := y.cat.Rendition(id, float64(kbps)*1000)
+	if !ok {
+		w.WriteHeader(404, map[string]string{"Content-Length": "0"})
+		return
+	}
+	header := media.HeaderFor(rv)
+	fileSize := int64(len(header)) + rv.Size()
+	start, n, hasRange, rangeOK := req.ResolveRange(fileSize)
+	if hasRange && !rangeOK {
+		w.WriteHeader(416, map[string]string{
+			"Content-Length": "0",
+			"Content-Range":  fmt.Sprintf("bytes */%d", fileSize),
+		})
+		return
+	}
+	if hasRange {
+		w.WriteHeader(206, map[string]string{
+			"Content-Length": strconv.FormatInt(n, 10),
+			"Content-Range":  fmt.Sprintf("bytes %d-%d/%d", start, start+n-1, fileSize),
+			"Content-Type":   contentType(rv),
+		})
+		writeFileSlice(w, header, start, n)
+		return
+	}
+	w.WriteHeader(200, map[string]string{
+		"Content-Length": strconv.FormatInt(fileSize, 10),
+		"Content-Type":   contentType(rv),
+	})
 	w.Write(header)
 	w.WriteZero(int(fileSize) - len(header))
 }
@@ -173,18 +261,18 @@ func writeFileSlice(w httpx.ResponseWriter, header []byte, start, n int64) {
 
 // Netflix is the simulated Netflix CDN.
 type Netflix struct {
-	catalog map[int]media.Video
+	cat *Catalog
 }
 
 // NewNetflix registers the CDN on host:80.
 func NewNetflix(host *tcp.Host, cfg tcp.Config, videos []media.Video) *Netflix {
-	n := &Netflix{catalog: map[int]media.Video{}}
-	for _, v := range videos {
-		n.catalog[v.ID] = v
-	}
+	n := &Netflix{cat: NewCatalog(videos)}
 	httpx.NewServer(host, 80, cfg, n.handle)
 	return n
 }
+
+// AddVideo registers one more catalog entry.
+func (n *Netflix) AddVideo(v media.Video) { n.cat.Add(v) }
 
 // FragmentBytes returns the byte size of one fragment at the given
 // ladder bitrate (bps), including its header.
@@ -194,7 +282,10 @@ func FragmentBytes(bitrate float64) int64 {
 
 // handle serves /frag/<id>/<bitrateKbps>/<index>. The whole fragment
 // is written at once — Netflix's rate control lives in the client's
-// request schedule (Akhshabi et al. [11]).
+// request schedule (Akhshabi et al. [11]). A video carrying an
+// explicit rendition ladder only serves fragments at its rungs;
+// legacy single-bitrate entries accept any rate, the historical
+// behaviour the Table-1 clients rely on.
 func (n *Netflix) handle(req *httpx.Request, w httpx.ResponseWriter) {
 	parts := strings.Split(strings.TrimPrefix(req.Path, "/frag/"), "/")
 	if len(parts) != 3 {
@@ -204,12 +295,16 @@ func (n *Netflix) handle(req *httpx.Request, w httpx.ResponseWriter) {
 	id, err1 := strconv.Atoi(parts[0])
 	kbps, err2 := strconv.Atoi(parts[1])
 	idx, err3 := strconv.Atoi(parts[2])
-	v, ok := n.catalog[id]
+	v, ok := n.cat.Get(id)
 	if err1 != nil || err2 != nil || err3 != nil || !ok {
 		w.WriteHeader(404, map[string]string{"Content-Length": "0"})
 		return
 	}
 	bitrate := float64(kbps) * 1000
+	if len(v.Renditions) > 0 && v.RungIndex(bitrate) < 0 {
+		w.WriteHeader(404, map[string]string{"Content-Length": "0"})
+		return
+	}
 	total := int(v.Duration / FragmentDuration)
 	if idx >= total {
 		w.WriteHeader(404, map[string]string{"Content-Length": "0"})
@@ -233,4 +328,10 @@ func FragPath(videoID int, bitrate float64, index int) string {
 // VideoPath builds the request path for a YouTube video.
 func VideoPath(videoID int) string {
 	return fmt.Sprintf("/videoplayback/%d", videoID)
+}
+
+// RenditionPath builds the request path for one rung of a YouTube
+// video's rendition ladder.
+func RenditionPath(videoID int, bitrate float64) string {
+	return fmt.Sprintf("/videoplayback/%d/%d", videoID, int(bitrate/1000))
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -39,9 +40,8 @@ func (w *world) get(path string, headers map[string]string, recvBuf int) (*httpx
 			buf := make([]byte, 64-len(first))
 			n := cc.ReadBody(buf)
 			first = append(first, buf[:n]...)
-			return
 		}
-		got += cc.DiscardBody(avail)
+		got += cc.DiscardBody(1 << 30)
 	})
 	cc.Get(path, headers)
 	w.sch.RunUntil(w.sch.Now() + 3*time.Minute)
@@ -221,5 +221,112 @@ func TestAddVideo(t *testing.T) {
 	resp, _, _ := w.get(VideoPath(v.ID), nil, 1<<20)
 	if resp == nil || resp.Status != 200 {
 		t.Fatalf("added video not served: %+v", resp)
+	}
+}
+
+func ladderVideo() media.Video {
+	return media.Video{
+		ID: 7, Duration: 120 * time.Second, Container: media.Silverlight,
+		Resolution: "adaptive",
+	}.WithLadder(media.NetflixLadder...)
+}
+
+func TestYouTubeRenditionResource(t *testing.T) {
+	w := newWorld(21)
+	v := ladderVideo()
+	v.Container = media.HTML5
+	NewYouTube(w.server, tcp.Config{}, []media.Video{v})
+
+	// Full fetch of the bottom rung: size must reflect that rung's
+	// bitrate, not the top one's.
+	rung0 := v.AtRung(0)
+	wantSize := int64(media.WebMHeaderSize) + rung0.Size()
+	resp, got, _ := w.get(RenditionPath(v.ID, rung0.EncodingRate), nil, 1<<20)
+	if resp == nil || resp.Status != 200 {
+		t.Fatalf("rendition fetch: %+v", resp)
+	}
+	if int64(got) != wantSize {
+		t.Fatalf("rendition body = %d bytes, want %d", got, wantSize)
+	}
+
+	// A byte range on a rung.
+	resp, got, _ = w.get(RenditionPath(v.ID, rung0.EncodingRate),
+		map[string]string{"Range": "bytes=100-1123"}, 1<<20)
+	if resp == nil || resp.Status != 206 || got != 1024 {
+		t.Fatalf("range on rendition: %+v, %d bytes", resp, got)
+	}
+	if cr := resp.Headers["content-range"]; cr == "" {
+		t.Fatal("206 without Content-Range")
+	}
+
+	// Suffix range: the last 512 bytes.
+	resp, got, _ = w.get(RenditionPath(v.ID, rung0.EncodingRate),
+		map[string]string{"Range": "bytes=-512"}, 1<<20)
+	if resp == nil || resp.Status != 206 || got != 512 {
+		t.Fatalf("suffix range: %+v, %d bytes", resp, got)
+	}
+
+	// Range past EOF: 416 with an empty body.
+	resp, got, _ = w.get(RenditionPath(v.ID, rung0.EncodingRate),
+		map[string]string{"Range": fmt.Sprintf("bytes=%d-", wantSize)}, 1<<20)
+	if resp == nil || resp.Status != 416 || got != 0 {
+		t.Fatalf("past-EOF range: %+v, %d bytes", resp, got)
+	}
+
+	// A bitrate off the ladder is not a resource.
+	resp, _, _ = w.get(RenditionPath(v.ID, 777e3), nil, 1<<20)
+	if resp == nil || resp.Status != 404 {
+		t.Fatalf("off-ladder rendition: %+v", resp)
+	}
+}
+
+func TestNetflixLadderValidation(t *testing.T) {
+	w := newWorld(22)
+	v := ladderVideo()
+	NewNetflix(w.server, tcp.Config{}, []media.Video{v})
+
+	// Every ladder rung serves fragments.
+	resp, got, first := w.get(FragPath(v.ID, v.Renditions[0], 0), nil, 1<<20)
+	if resp == nil || resp.Status != 200 {
+		t.Fatalf("ladder fragment: %+v", resp)
+	}
+	if int64(got) != FragmentBytes(v.Renditions[0]) {
+		t.Fatalf("fragment size %d, want %d", got, FragmentBytes(v.Renditions[0]))
+	}
+	if rate := media.FragHeaderRate(first); rate != v.Renditions[0] {
+		t.Fatalf("fragment header announces %v bps, want %v", rate, v.Renditions[0])
+	}
+
+	// An off-ladder rate is rejected for ladder-carrying videos.
+	resp, _, _ = w.get(FragPath(v.ID, 777e3, 0), nil, 1<<20)
+	if resp == nil || resp.Status != 404 {
+		t.Fatalf("off-ladder fragment: %+v", resp)
+	}
+
+	// Legacy single-bitrate entries keep accepting any rate (the
+	// Table-1 Netflix clients request NetflixLadder rates against
+	// catalog entries that carry no explicit ladder).
+	legacy := media.Video{ID: 8, EncodingRate: 3.8e6, Duration: 60 * time.Second, Container: media.Silverlight}
+	w2 := newWorld(23)
+	NewNetflix(w2.server, tcp.Config{}, []media.Video{legacy})
+	resp, _, _ = w2.get(FragPath(legacy.ID, 1600e3, 0), nil, 1<<20)
+	if resp == nil || resp.Status != 200 {
+		t.Fatalf("legacy any-rate fragment: %+v", resp)
+	}
+}
+
+func TestCatalogRendition(t *testing.T) {
+	c := NewCatalog([]media.Video{ladderVideo()})
+	if _, ok := c.Rendition(7, 1600e3); !ok {
+		t.Fatal("ladder rung not resolvable")
+	}
+	if rv, ok := c.Rendition(7, 500e3); !ok || rv.EncodingRate != 500e3 {
+		t.Fatalf("rendition view = %+v, %v", rv, ok)
+	}
+	if _, ok := c.Rendition(7, 123e3); ok {
+		t.Fatal("off-ladder rate resolved")
+	}
+	if _, ok := c.Rendition(99, 500e3); ok {
+		t.Fatal("unknown id resolved")
 	}
 }

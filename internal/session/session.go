@@ -96,7 +96,10 @@ type Result struct {
 	Packets int
 	// Downloaded is the player-side consumed byte count.
 	Downloaded int64
-	Elapsed    time.Duration
+	// QoE is the player's playback-buffer outcome (startup delay,
+	// rebuffering, rung occupancy), evaluated at the capture horizon.
+	QoE     player.Metrics
+	Elapsed time.Duration
 }
 
 // ClientAddr is the measurement vantage address used in captures.
@@ -174,6 +177,7 @@ func Run(cfg Config) *Result {
 		Analysis:   stream.Result(),
 		Trace:      tr,
 		Downloaded: cfg.Player.Downloaded(),
+		QoE:        cfg.Player.QoE(sch.Now()),
 		Elapsed:    sch.Now(),
 	}
 	res.Packets = res.Analysis.Packets

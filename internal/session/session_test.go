@@ -352,3 +352,61 @@ func TestServiceKindString(t *testing.T) {
 		t.Fatal("kind strings")
 	}
 }
+
+func TestSessionSurfacesQoEAndRenditionCycles(t *testing.T) {
+	// An adaptive session through the full stack: the playback-buffer
+	// QoE must surface on the Result and the analyzer must segment
+	// per-rendition request cycles from the fragment headers alone.
+	v := media.Video{
+		ID: 9, Duration: 300 * time.Second, Container: media.Silverlight,
+		Resolution: "adaptive",
+	}.WithLadder(media.NetflixLadder...)
+	prof := netem.Profile{
+		Name: "tight", Down: 1200 * netem.Kbps, Up: 2 * netem.Mbps,
+		RTT: 40 * time.Millisecond, Queue: 128 << 10,
+	}
+	res := Run(Config{
+		Video: v, Service: Netflix,
+		Player:  player.NewABRPlayer(player.ABRConfig{}),
+		Network: prof, Seed: 12, Duration: 90 * time.Second,
+	})
+	if !res.QoE.Started {
+		t.Fatalf("QoE not surfaced: %+v", res.QoE)
+	}
+	if res.QoE.FetchedSec <= 0 || len(res.QoE.RungSec) == 0 {
+		t.Fatalf("no rung accounting: %+v", res.QoE)
+	}
+	a := res.Analysis
+	if len(a.Rungs) == 0 {
+		t.Fatal("analyzer recovered no rendition cycles")
+	}
+	if res.QoE.Switches > 0 && a.RungSwitches == 0 {
+		t.Fatalf("player switched %d times but the analyzer saw none", res.QoE.Switches)
+	}
+	var wire int64
+	for _, r := range a.Rungs {
+		if r.Bitrate <= 0 || r.Fragments <= 0 || r.End < r.Start {
+			t.Fatalf("malformed rung span %+v", r)
+		}
+		if v.RungIndex(r.Bitrate) < 0 {
+			t.Fatalf("rung span at off-ladder bitrate %v", r.Bitrate)
+		}
+		wire += r.Bytes
+	}
+	if wire <= 0 || wire > a.TotalBytes {
+		t.Fatalf("rung bytes %d outside (0, total %d]", wire, a.TotalBytes)
+	}
+	// Legacy sessions expose QoE too: the Flash capture has a playback
+	// buffer even though its wire behaviour is untouched.
+	legacy := Run(Config{
+		Video: flashVideo(), Service: YouTube,
+		Player:  player.NewFlashPlayer("Internet Explorer"),
+		Network: netem.Research, Seed: 13, Duration: 60 * time.Second,
+	})
+	if !legacy.QoE.Started || legacy.QoE.StartupDelay <= 0 {
+		t.Fatalf("legacy QoE missing: %+v", legacy.QoE)
+	}
+	if len(legacy.QoE.RungSec) != 0 {
+		t.Fatal("single-bitrate session must not report rung occupancy")
+	}
+}
