@@ -11,6 +11,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -262,9 +263,11 @@ func BenchmarkScenarioFlashCrowd(b *testing.B) {
 // regime — B/op must grow ~linearly with the client count (per-client
 // slim state, sketches and fixed-width bins), never with the packet
 // count. ns/op grows with carried traffic, which is client-linear
-// here too.
+// here too. The normalized ns/op/client and B/op/client columns make
+// the per-client cost comparable across the client counts (and across
+// BENCH_<n>.json files): flat normalized columns = linear scaling.
 func BenchmarkFleet(b *testing.B) {
-	for _, clients := range []int{64, 256, 1024} {
+	for _, clients := range []int{64, 256, 1024, 4096} {
 		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
 			f := scenario.Fleet{
 				Mix:      []scenario.MixEntry{{Player: scenario.Flash, Weight: 1}, {Player: scenario.FirefoxHtml5, Weight: 1}},
@@ -274,12 +277,21 @@ func BenchmarkFleet(b *testing.B) {
 				Seed:     7,
 			}
 			b.ReportAllocs()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			alloc0 := ms.TotalAlloc
+			var offered int
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res := scenario.RunFleet(runner.Options{Workers: 1}, f)
-				if i == 0 {
-					b.ReportMetric(float64(res.CoreOffered)/float64(clients), "pkts/client")
-				}
+				offered = res.CoreOffered
 			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms)
+			perOpClient := float64(b.N) * float64(clients)
+			b.ReportMetric(float64(offered)/float64(clients), "pkts/client")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/perOpClient, "ns/op/client")
+			b.ReportMetric(float64(ms.TotalAlloc-alloc0)/perOpClient, "B/op/client")
 		})
 	}
 }

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseCustomMetricColumns pins the property the fleet benchmarks
+// rely on: `go test -bench` lines carry arbitrary extra b.ReportMetric
+// columns (`<value> <unit>` pairs like ns/op/client) and the parser
+// must extract ns/op, B/op and allocs/op without being confused by
+// them — or by their position relative to the standard columns.
+func TestParseCustomMetricColumns(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+BenchmarkSingleSession-8       	      36	  31092341 ns/op	  804416 B/op	    1045 allocs/op
+BenchmarkFleet/clients=4096   	       1	28712345678 ns/op	   7009.6 ns/op/client	  122000 B/op/client	  3456.0 pkts/client	 498000000 B/op	  401234 allocs/op
+BenchmarkNoMem 	     100	    123456 ns/op
+PASS
+ok  	repro	92.1s
+`
+	got := parse(strings.NewReader(out), nil)
+	want := []Result{
+		{Name: "BenchmarkSingleSession", Iterations: 36, NsPerOp: 31092341, BytesPerOp: 804416, AllocsPerOp: 1045},
+		{Name: "BenchmarkFleet/clients=4096", Iterations: 1, NsPerOp: 28712345678, BytesPerOp: 498000000, AllocsPerOp: 401234},
+		{Name: "BenchmarkNoMem", Iterations: 100, NsPerOp: 123456},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parse:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestParseIgnoresNonBenchLines: headers, PASS/ok trailers and fuzz
+// noise never produce results, and the empty case is [] not nil (the
+// JSON schema promises an array).
+func TestParseIgnoresNonBenchLines(t *testing.T) {
+	got := parse(strings.NewReader("goos: linux\nPASS\nok \trepro\t1.0s\n"), nil)
+	if got == nil || len(got) != 0 {
+		t.Fatalf("parse of non-bench output = %#v, want empty non-nil slice", got)
+	}
+}

@@ -1,22 +1,36 @@
-// Command vfleet runs a fleet-scale simulation: hundreds to thousands
+// Command vfleet runs a fleet-scale simulation: hundreds of thousands
 // of concurrent streaming sessions of a strategy mix on the
 // multi-tier tree topology (per-client access links → shared
 // aggregation links → one core uplink), reporting streaming aggregate
 // statistics — per-tier utilization, per-client QoE quantiles, and
 // the aggregation-link burstiness the paper's closing argument is
 // about. Memory is O(clients), never O(packets), and results are
-// bit-identical for any -workers value.
+// bit-identical for any -workers, -shards or -distributed value.
 //
 // Usage:
 //
 //	vfleet -clients 1000 -mix flash:1+firefox:1 -duration 120
 //	vfleet -clients 256 -mix chrome -arrival poisson -series
+//	vfleet -clients 1000000 -duration 5 -distributed 4 -result-out fleet.bin
+//
+// With -distributed N the fleet's cells are split into N contiguous
+// ranges, each simulated by a re-invocation of this binary (the hidden
+// -cells lo:hi child mode) streaming serialized per-cell results over
+// its stdout; the parent merges the streams into the same bytes a
+// single-process run produces.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/netem"
@@ -24,14 +38,19 @@ import (
 	"repro/internal/scenario"
 )
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vfleet:", err)
+	os.Exit(1)
+}
+
 func main() {
 	clients := flag.Int("clients", 256, "concurrent sessions")
 	mix := flag.String("mix", "flash:1+firefox:1", "strategy mix, e.g. flash:2+firefox:1 (see -players)")
 	duration := flag.Float64("duration", 120, "horizon seconds")
 	warmup := flag.Float64("warmup", 0, "statistics warm-up seconds (0 = duration/4)")
 	seed := flag.Int64("seed", 1, "random seed")
-	shards := flag.Int("shards", 1, "independent tree shards (statistics merge deterministically)")
-	workers := flag.Int("workers", 0, "shard worker pool (0 = one per CPU); results identical for any value")
+	shards := flag.Int("shards", 1, "deprecated execution hint; results never depend on it")
+	workers := flag.Int("workers", 0, "cell worker pool (0 = one per CPU); results identical for any value")
 	perAgg := flag.Int("peragg", 0, "clients per aggregation link (0 = 32)")
 	bin := flag.Float64("bin", 1, "utilization bin seconds")
 	arrival := flag.String("arrival", "staggered", "arrival process: all-at-once, staggered, poisson, flash-crowd")
@@ -43,6 +62,11 @@ func main() {
 	players := flag.Bool("players", false, "list player kind names and exit")
 	abrMode := flag.Bool("abr", false, "run the ABR headline comparison: fixed-top vs rate-based vs buffer-based controllers under a rate-drop timeline")
 	down := flag.String("down", "", `dynamics timeline for every aggregation downstream link, e.g. "rate@40s=24Mbps; outage@90s=5s" (with -abr, default drops to 24 Mbps at duration/3)`)
+	distributed := flag.Int("distributed", 0, "fork the run across N OS processes (merged result is bit-identical to -distributed 0)")
+	cellRange := flag.String("cells", "", "child mode: run cells lo:hi and stream serialized per-cell results to stdout")
+	resultOut := flag.String("result-out", "", "write the serialized FleetResult to this file (bit-identical across -workers/-shards/-distributed)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file (taken after the run)")
 	flag.Parse()
 
 	if *players {
@@ -53,8 +77,7 @@ func main() {
 	}
 	entries, err := scenario.ParseMix(*mix)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vfleet:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	var kind scenario.ArrivalKind
 	switch *arrival {
@@ -67,16 +90,14 @@ func main() {
 	case "flash-crowd":
 		kind = scenario.FlashCrowd
 	default:
-		fmt.Fprintf(os.Stderr, "vfleet: unknown arrival %q\n", *arrival)
-		os.Exit(1)
+		fatal(fmt.Errorf("unknown arrival %q", *arrival))
 	}
 	dur := time.Duration(*duration * float64(time.Second))
 	var dyn netem.Dynamics
 	if *down != "" {
 		dyn, err = scenario.ParseDynamics(*down)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "vfleet:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	} else if *abrMode {
 		dyn = netem.Dynamics{}.Then(netem.RateStep(dur/3, 24*netem.Mbps))
@@ -97,8 +118,48 @@ func main() {
 	f.Tree.Agg.Down = netem.Bandwidth(*aggDown) * netem.Mbps
 	f.Tree.Core.Down = netem.Bandwidth(*coreDown) * netem.Mbps
 	if err := f.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "vfleet:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	if *abrMode && (*distributed > 0 || *cellRange != "" || *resultOut != "") {
+		fatal(fmt.Errorf("-abr runs three fleets; it cannot combine with -distributed, -cells or -result-out"))
+	}
+
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			mf, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer mf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	// Child mode: simulate one contiguous cell range, stream serialized
+	// per-cell results to stdout, print nothing else.
+	if *cellRange != "" {
+		lo, hi, err := parseRange(*cellRange)
+		if err != nil {
+			fatal(err)
+		}
+		if err := scenario.WriteFleetCells(os.Stdout, runner.Options{Workers: *workers}, f, lo, hi); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *abrMode {
@@ -123,7 +184,15 @@ func main() {
 	}
 
 	start := time.Now()
-	res := scenario.RunFleet(runner.Options{Workers: *workers}, f)
+	var res *scenario.FleetResult
+	if *distributed > 0 {
+		res, err = runDistributed(f, *distributed, *workers, *mix, *down)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		res = scenario.RunFleet(runner.Options{Workers: *workers}, f)
+	}
 	fmt.Print(res.Render())
 	if *series {
 		fmt.Printf("\n# %-8s %-12s %-12s %-12s\n", "bin s", "core Mbps", "agg Mbps", "concurrent")
@@ -135,5 +204,113 @@ func main() {
 				float64(i)*res.CoreUtil.Width.Seconds(), core[i]*8/1e6, agg[i]*8/1e6, conc[i])
 		}
 	}
+	if *resultOut != "" {
+		data, err := res.MarshalBinary()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*resultOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("[result: %d bytes -> %s]\n", len(data), *resultOut)
+	}
 	fmt.Printf("[fleet completed in %v]\n", time.Since(start).Round(time.Millisecond))
+}
+
+func parseRange(s string) (lo, hi int, err error) {
+	if _, err := fmt.Sscanf(s, "%d:%d", &lo, &hi); err != nil {
+		return 0, 0, fmt.Errorf("bad -cells range %q (want lo:hi)", s)
+	}
+	return lo, hi, nil
+}
+
+// runDistributed splits the fleet's cells into n contiguous ranges and
+// re-invokes this binary once per range (child mode -cells lo:hi).
+// Children stream serialized per-cell results over stdout — never
+// locally folded partials — so the parent performs the one global left
+// fold in cell order and the merged result is bit-identical to a
+// single-process run.
+func runDistributed(f scenario.Fleet, n, workers int, mix, down string) (*scenario.FleetResult, error) {
+	cells := f.Cells()
+	if n > cells {
+		n = cells
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	// The child re-derives the identical Fleet spec from flags; the
+	// spec itself never crosses the pipe.
+	base := []string{
+		"-clients", strconv.Itoa(f.Clients),
+		"-mix", mix,
+		"-duration", fmt.Sprint(f.Duration.Seconds()),
+		"-warmup", fmt.Sprint(f.Warmup.Seconds()),
+		"-seed", strconv.FormatInt(f.Seed, 10),
+		"-peragg", strconv.Itoa(f.Tree.ClientsPerAgg),
+		"-bin", fmt.Sprint(f.UtilBin.Seconds()),
+		"-arrival", arrivalName(f.Arrival.Kind),
+		"-window", fmt.Sprint(f.Arrival.Window.Seconds()),
+		"-access-down", fmt.Sprint(float64(f.Tree.Access.Down) / float64(netem.Mbps)),
+		"-agg-down", fmt.Sprint(float64(f.Tree.Agg.Down) / float64(netem.Mbps)),
+		"-core-down", fmt.Sprint(float64(f.Tree.Core.Down) / float64(netem.Mbps)),
+		"-workers", strconv.Itoa(workers),
+	}
+	if down != "" {
+		base = append(base, "-down", down)
+	}
+
+	type child struct {
+		cmd *exec.Cmd
+		out bytes.Buffer
+	}
+	kids := make([]*child, n)
+	var wg sync.WaitGroup
+	per, rem := cells/n, cells%n
+	lo := 0
+	for i := range kids {
+		hi := lo + per
+		if i < rem {
+			hi++
+		}
+		args := append(append([]string(nil), base...), "-cells", fmt.Sprintf("%d:%d", lo, hi))
+		k := &child{cmd: exec.Command(exe, args...)}
+		k.cmd.Stderr = os.Stderr
+		pipe, err := k.cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := k.cmd.Start(); err != nil {
+			return nil, err
+		}
+		kids[i] = k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			io.Copy(&k.out, pipe)
+		}()
+		lo = hi
+	}
+	wg.Wait()
+	readers := make([]io.Reader, n)
+	for i, k := range kids {
+		if err := k.cmd.Wait(); err != nil {
+			return nil, fmt.Errorf("child %d: %w", i, err)
+		}
+		readers[i] = &k.out
+	}
+	return scenario.MergeFleetCellStreams(f, readers...)
+}
+
+func arrivalName(k scenario.ArrivalKind) string {
+	switch k {
+	case scenario.AllAtOnce:
+		return "all-at-once"
+	case scenario.Poisson:
+		return "poisson"
+	case scenario.FlashCrowd:
+		return "flash-crowd"
+	default:
+		return "staggered"
+	}
 }

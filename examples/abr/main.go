@@ -49,8 +49,7 @@ func main() {
 		f := scenario.Fleet{
 			Name:     "abr/" + k.String(),
 			Mix:      []scenario.MixEntry{{Player: k, Weight: 1}},
-			Clients:  clients,
-			Shards:   3, // one tree per aggregation group
+			Clients:  clients, // one cell (own tree) per aggregation group
 			Duration: duration,
 			Arrival:  scenario.Arrival{Kind: scenario.Staggered, Window: duration / 6},
 			Down:     timeline,

@@ -31,11 +31,11 @@ func main() {
 		Warmup:   20 * time.Second,
 		Arrival:  scenario.Arrival{Kind: scenario.Staggered, Window: 15 * time.Second},
 		Seed:     42,
-		// Four shards: the fleet is partitioned across four identical
-		// trees simulated in parallel; the sketches and binned series
-		// merge deterministically, so the artifact does not depend on
-		// the worker count (or on having more than one CPU).
-		Shards:  4,
+		// The fleet is partitioned into cells — one aggregation group
+		// (32 clients) per cell, each on its own tree — simulated in
+		// parallel; the sketches and binned series fold in cell order,
+		// so the artifact does not depend on the worker count (or on
+		// having more than one CPU).
 		UtilBin: time.Second,
 	}
 
@@ -63,7 +63,7 @@ func main() {
 		c, a, ac, n = c/float64(step), a/float64(step), ac/float64(step), n/float64(step)
 		fmt.Printf("%-8s %-10.1f %-10.1f %-10.2f %-10.0f\n",
 			fmt.Sprintf("%ds", i),
-			c*8/1e6/float64(f.Shards),
+			c*8/1e6/float64(res.Groups),
 			a*8/1e6/float64(res.Groups),
 			ac*8/1e6/float64(res.Clients),
 			n)

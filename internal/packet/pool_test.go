@@ -25,3 +25,27 @@ func TestPoolReusesAndZeroes(t *testing.T) {
 		t.Fatal("nil must not enter the free list")
 	}
 }
+
+// Slab carving must hand out distinct zeroed structs across chunk
+// boundaries, and recycled structs must still take priority over the
+// slab tail.
+func TestPoolSlabCarving(t *testing.T) {
+	p := &Pool{}
+	seen := make(map[*Segment]bool, 3*poolChunk)
+	for i := 0; i < 3*poolChunk; i++ {
+		s := p.Get()
+		if seen[s] {
+			t.Fatalf("segment %d handed out twice without Put", i)
+		}
+		if s.Seq != 0 || s.Payload != nil || s.Flags != 0 || s.PayloadLen != 0 {
+			t.Fatalf("fresh segment %d not zeroed: %+v", i, s)
+		}
+		seen[s] = true
+		s.Seq = uint32(i) // dirty it so aliasing would be caught above
+	}
+	recycled := p.Get()
+	p.Put(recycled)
+	if p.Get() != recycled {
+		t.Fatal("free list must win over slab carving")
+	}
+}

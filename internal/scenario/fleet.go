@@ -58,12 +58,13 @@ type Fleet struct {
 	// burstiness; 0 → Duration/4.
 	Warmup time.Duration
 	Seed   int64
-	// Shards partitions the fleet across independent tree replicas
-	// (each with its own core link), run in parallel on the runner
-	// pool and merged deterministically in shard order. Sharding
-	// trades cross-shard bottleneck interaction for wall-clock speed;
-	// statistics merge exactly, so results depend on the shard count
-	// but never on the worker count. Default 1.
+	// Shards is a deprecated execution hint. The simulation unit is
+	// now always one cell — a single aggregation group of
+	// Tree.ClientsPerAgg clients with its own core uplink — so results
+	// are bit-identical for any shard, worker, and process count;
+	// parallelism comes from runner.Options alone. The field is still
+	// validated (a spec asking for more shards than clients was always
+	// a bug) but otherwise ignored.
 	Shards int
 	// Down is a dynamics timeline applied to every aggregation
 	// downstream link of every shard — the fleet-scale form of the
@@ -190,8 +191,8 @@ func (f Fleet) Validate() error {
 				f.Name, f.Mix[0].Player, svc, e.Player, e.Player.Service())
 		}
 	}
-	if f.Clients > 65000 {
-		return fmt.Errorf("fleet %q: %d clients exceeds the 10.0/16 address plan", f.Name, f.Clients)
+	if f.Clients > maxFleetClients {
+		return fmt.Errorf("fleet %q: %d clients exceeds the 10.0.0.0/8 address plan", f.Name, f.Clients)
 	}
 	if f.Shards > f.Clients {
 		return fmt.Errorf("fleet %q: %d shards for %d clients", f.Name, f.Shards, f.Clients)
@@ -203,6 +204,26 @@ func (f Fleet) Validate() error {
 		return fmt.Errorf("fleet %q down: %w", f.Name, err)
 	}
 	return nil
+}
+
+// maxFleetClients is the capacity of the 10.0.0.0/8 client address
+// plan: clientAddr maps indices injectively into three octets.
+const maxFleetClients = 1<<24 - 2
+
+// cells returns the number of simulation cells the fleet splits into:
+// one per aggregation group. The cell is the fixed physical unit — its
+// own scheduler, tree, server, and core uplink — which is what makes
+// results independent of how cells are batched across workers or
+// processes.
+func (f Fleet) cells() int {
+	per := f.Tree.ClientsPerAgg
+	return (f.Clients + per - 1) / per
+}
+
+// Cells reports how many cells the resolved fleet runs — the unit
+// distributed drivers partition across processes.
+func (f Fleet) Cells() int {
+	return f.withDefaults().cells()
 }
 
 // pattern expands the mix into its weighted round-robin sequence:
@@ -241,13 +262,13 @@ func (f Fleet) fleetVideo(i int, kind PlayerKind) media.Video {
 type FleetResult struct {
 	Fleet   Fleet // resolved spec
 	Clients int
-	Groups  int // aggregation links across all shards
+	Groups  int // aggregation links == cells across the whole fleet
 
-	// Per-client QoE sketches (merged across shards, exact merge).
+	// Per-client QoE sketches (merged across cells, exact merge).
 	RateMbps   *stats.Sketch // mean goodput over each client's active period
 	StartupSec *stats.Sketch // arrival → first payload byte
 
-	// Playback QoE sketches (merged across shards): the buffer-model
+	// Playback QoE sketches (merged across cells): the buffer-model
 	// outcomes of every client.
 	RebufCount  *stats.Sketch // rebuffer events per client
 	RebufSec    *stats.Sketch // total rebuffer seconds per client
@@ -258,7 +279,7 @@ type FleetResult struct {
 	RungSec []float64
 
 	// Per-tier downstream utilization: wire bytes per UtilBin bin,
-	// summed over every link of the tier (and every shard).
+	// summed over every link of the tier (and every cell).
 	CoreUtil   *stats.Binned
 	AggUtil    *stats.Binned
 	AccessUtil *stats.Binned
@@ -267,7 +288,7 @@ type FleetResult struct {
 	ConcurrencyDeltas *stats.Binned
 
 	// Burstiness sketches over post-warmup per-bin rates: one CV
-	// sample per aggregation link and one per shard core link.
+	// sample per aggregation link and one per cell core link.
 	AggBurst  *stats.Sketch
 	CoreBurst *stats.Sketch
 
@@ -307,7 +328,7 @@ func (r *FleetResult) meanMbps(b *stats.Binned, links int) float64 {
 
 // CoreMbps, AggMbps and AccessMbps return mean per-link downstream
 // rates over the post-warmup window.
-func (r *FleetResult) CoreMbps() float64 { return r.meanMbps(r.CoreUtil, r.Fleet.Shards) }
+func (r *FleetResult) CoreMbps() float64 { return r.meanMbps(r.CoreUtil, r.Groups) }
 
 // AggMbps returns the mean per-aggregation-link downstream rate.
 func (r *FleetResult) AggMbps() float64 { return r.meanMbps(r.AggUtil, r.Groups) }
@@ -320,8 +341,8 @@ func (r *FleetResult) AccessMbps() float64 { return r.meanMbps(r.AccessUtil, r.C
 func (r *FleetResult) Render() string {
 	var b strings.Builder
 	f := r.Fleet
-	fmt.Fprintf(&b, "fleet %q: %d clients, %d agg links (%d/agg), %d shard(s), %v horizon (%v warmup)\n",
-		f.Name, r.Clients, r.Groups, f.Tree.ClientsPerAgg, f.Shards, f.Duration, f.Warmup)
+	fmt.Fprintf(&b, "fleet %q: %d clients, %d cells (%d/agg), %v horizon (%v warmup)\n",
+		f.Name, r.Clients, r.Groups, f.Tree.ClientsPerAgg, f.Duration, f.Warmup)
 	fmt.Fprintf(&b, "  mix            : %s, arrivals %s\n", f.MixString(), f.Arrival.Kind)
 	fmt.Fprintf(&b, "  tier util Mbps : core %.1f  agg %.1f  access %.2f (per link, post-warmup)\n",
 		r.CoreMbps(), r.AggMbps(), r.AccessMbps())
@@ -364,36 +385,34 @@ func (r *FleetResult) RungShare() []float64 {
 	return out
 }
 
-// fleetClient is the whole per-client state a fleet run keeps: ~5
-// words, updated O(1) per downstream packet by its access-link tap.
-type fleetClient struct {
+// clientState is the whole per-client state a fleet run keeps — six
+// words in a struct-of-arrays slice, so every client's counters live
+// in one cache line and the tap update is O(1) per downstream packet.
+// The struct is its own netem.Tap: attaching &states[j] boxes a plain
+// pointer into the interface, so flattening also removes the per-client
+// tap allocation the old two-level clientTap paid.
+type clientState struct {
 	bytes   int64
-	packets int
+	packets int64
 	start   time.Duration
 	first   time.Duration // -1 until the first payload byte
 	last    time.Duration
-}
-
-// clientTap feeds one client's access-link packets into its slim state
-// and the shared access-tier utilization series.
-type clientTap struct {
-	c    *fleetClient
-	util *stats.Binned
+	util    *stats.Binned // shared access-tier utilization series
 }
 
 // Capture implements netem.Tap.
-func (t clientTap) Capture(at time.Duration, seg *packet.Segment) {
-	t.util.Add(at, float64(seg.WireLen()))
+func (c *clientState) Capture(at time.Duration, seg *packet.Segment) {
+	c.util.Add(at, float64(seg.WireLen()))
 	n := seg.Len()
 	if n == 0 {
 		return
 	}
-	t.c.packets++
-	t.c.bytes += int64(n)
-	if t.c.first < 0 {
-		t.c.first = at
+	c.packets++
+	c.bytes += int64(n)
+	if c.first < 0 {
+		c.first = at
 	}
-	t.c.last = at
+	c.last = at
 }
 
 // utilTap accumulates wire bytes of a shared link into binned series.
@@ -409,86 +428,133 @@ func (t utilTap) Capture(at time.Duration, seg *packet.Segment) {
 	}
 }
 
-// fleetShardSeed derives the deterministic seed of one shard; a fixed
-// formula (not an rng stream) keeps it independent of evaluation
-// order.
-func fleetShardSeed(seed int64, shard int) int64 {
-	return seed + 1000003*int64(shard)
+// fleetCellSeed derives the deterministic seed of one cell from the
+// global index of its first client; a fixed formula (not an rng
+// stream) keeps it independent of evaluation order. The formula is the
+// one the sharded scheme used, so group-aligned runs reproduce their
+// historical traces exactly.
+func fleetCellSeed(seed int64, firstClient int) int64 {
+	return seed + 1000003*int64(firstClient)
 }
 
-// RunFleet executes the fleet: shards fan out on the runner pool
-// (each shard one single-threaded simulation on its own tree) and
-// their streaming statistics merge in shard order, so the result is
-// bit-identical for any worker count.
+// merge folds sh — the next cell in global cell order — into r. Every
+// operation is either exact (sketch bin addition, integer sums) or a
+// float left-fold in a fixed order, so any execution that folds cells
+// 0..n-1 left to right produces bit-identical bytes, whether the cells
+// ran on one worker, a pool, or another process.
+func (r *FleetResult) merge(sh *FleetResult) {
+	r.Clients += sh.Clients
+	r.Groups += sh.Groups
+	r.RateMbps.Merge(sh.RateMbps)
+	r.StartupSec.Merge(sh.StartupSec)
+	r.RebufCount.Merge(sh.RebufCount)
+	r.RebufSec.Merge(sh.RebufSec)
+	r.SwitchCount.Merge(sh.SwitchCount)
+	r.FetchedMbps.Merge(sh.FetchedMbps)
+	for len(r.RungSec) < len(sh.RungSec) {
+		r.RungSec = append(r.RungSec, 0)
+	}
+	for i, sec := range sh.RungSec {
+		r.RungSec[i] += sec
+	}
+	r.CoreUtil.Merge(sh.CoreUtil)
+	r.AggUtil.Merge(sh.AggUtil)
+	r.AccessUtil.Merge(sh.AccessUtil)
+	r.ConcurrencyDeltas.Merge(sh.ConcurrencyDeltas)
+	r.AggBurst.Merge(sh.AggBurst)
+	r.CoreBurst.Merge(sh.CoreBurst)
+	r.CoreOffered += sh.CoreOffered
+	r.CoreDropped += sh.CoreDropped
+	r.AggDropped += sh.AggDropped
+	r.AccessDropped += sh.AccessDropped
+	r.Unrouted += sh.Unrouted
+	r.Downloaded += sh.Downloaded
+	r.ActiveClients += sh.ActiveClients
+	r.StarvedClients += sh.StarvedClients
+	if r.Exact != nil && sh.Exact != nil {
+		r.Exact.RateMbps = append(r.Exact.RateMbps, sh.Exact.RateMbps...)
+		r.Exact.StartupSec = append(r.Exact.StartupSec, sh.Exact.StartupSec...)
+	}
+}
+
+// finalize derives the quotient fields once every cell has been folded
+// in. It is idempotent, so re-finalizing a merged-of-merged result
+// (the distributed parent) is safe.
+func (r *FleetResult) finalize() {
+	if r.CoreOffered > 0 {
+		r.InducedCoreLoss = float64(r.CoreDropped) / float64(r.CoreOffered)
+	}
+}
+
+// fleetWave bounds how many per-cell results exist at once: cells run
+// in waves on the runner pool and each wave is folded into the
+// accumulator before the next starts. A million-client fleet is ~31k
+// cells; waves keep the in-flight results O(fleetWave) while the fold
+// order stays the global cell order, so the batching is invisible in
+// the bytes.
+const fleetWave = 1024
+
+// runFleetCellRange runs cells [lo, hi) in waves and passes each
+// cell's result to emit in cell order. It is the shared engine of
+// RunFleet and the distributed child mode (which serializes each
+// result instead of folding it).
+func runFleetCellRange(o runner.Options, f Fleet, lo, hi int, emit func(cell int, r *FleetResult)) {
+	per := f.Tree.ClientsPerAgg
+	for base := lo; base < hi; base += fleetWave {
+		n := hi - base
+		if n > fleetWave {
+			n = fleetWave
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = base + i
+		}
+		wave := runner.Map(o, idx, func(_ int, c int) *FleetResult {
+			from := c * per
+			to := from + per
+			if to > f.Clients {
+				to = f.Clients
+			}
+			return runFleetCell(f, from, to)
+		})
+		for i, sh := range wave {
+			emit(idx[i], sh)
+		}
+	}
+}
+
+// RunFleet executes the fleet: cells fan out on the runner pool (each
+// cell one single-threaded simulation of one aggregation group on its
+// own tree) and their streaming statistics fold in cell order, so the
+// result is bit-identical for any worker count — and, because the cell
+// is the physical unit, for any shard or process count too.
 func RunFleet(o runner.Options, f Fleet) *FleetResult {
 	f = f.withDefaults()
 	if err := f.Validate(); err != nil {
 		panic("scenario: " + err.Error())
 	}
-	// Shard s simulates clients [offsets[s], offsets[s+1]): contiguous
-	// global indices, so mix assignment and video IDs are shard-split
-	// invariant.
-	offsets := make([]int, f.Shards+1)
-	for s := 0; s < f.Shards; s++ {
-		cnt := f.Clients / f.Shards
-		if s < f.Clients%f.Shards {
-			cnt++
+	if f.ExtraCoreTap != nil {
+		// The extra tap is shared mutable state across cells: run them
+		// sequentially so it observes the packet stream in cell order.
+		o.Workers = 1
+	}
+	var res *FleetResult
+	runFleetCellRange(o, f, 0, f.cells(), func(_ int, sh *FleetResult) {
+		if res == nil {
+			res = sh
+			return
 		}
-		offsets[s+1] = offsets[s] + cnt
-	}
-	shardIdx := make([]int, f.Shards)
-	for i := range shardIdx {
-		shardIdx[i] = i
-	}
-	shards := runner.Map(o, shardIdx, func(_ int, s int) *FleetResult {
-		return runFleetShard(f, offsets[s], offsets[s+1])
+		res.merge(sh)
 	})
-
-	res := shards[0]
-	for _, sh := range shards[1:] {
-		res.Clients += sh.Clients
-		res.Groups += sh.Groups
-		res.RateMbps.Merge(sh.RateMbps)
-		res.StartupSec.Merge(sh.StartupSec)
-		res.RebufCount.Merge(sh.RebufCount)
-		res.RebufSec.Merge(sh.RebufSec)
-		res.SwitchCount.Merge(sh.SwitchCount)
-		res.FetchedMbps.Merge(sh.FetchedMbps)
-		for len(res.RungSec) < len(sh.RungSec) {
-			res.RungSec = append(res.RungSec, 0)
-		}
-		for i, sec := range sh.RungSec {
-			res.RungSec[i] += sec
-		}
-		res.CoreUtil.Merge(sh.CoreUtil)
-		res.AggUtil.Merge(sh.AggUtil)
-		res.AccessUtil.Merge(sh.AccessUtil)
-		res.ConcurrencyDeltas.Merge(sh.ConcurrencyDeltas)
-		res.AggBurst.Merge(sh.AggBurst)
-		res.CoreBurst.Merge(sh.CoreBurst)
-		res.CoreOffered += sh.CoreOffered
-		res.CoreDropped += sh.CoreDropped
-		res.AggDropped += sh.AggDropped
-		res.AccessDropped += sh.AccessDropped
-		res.Unrouted += sh.Unrouted
-		res.Downloaded += sh.Downloaded
-		res.ActiveClients += sh.ActiveClients
-		res.StarvedClients += sh.StarvedClients
-		if res.Exact != nil && sh.Exact != nil {
-			res.Exact.RateMbps = append(res.Exact.RateMbps, sh.Exact.RateMbps...)
-			res.Exact.StartupSec = append(res.Exact.StartupSec, sh.Exact.StartupSec...)
-		}
-	}
-	if res.CoreOffered > 0 {
-		res.InducedCoreLoss = float64(res.CoreDropped) / float64(res.CoreOffered)
-	}
+	res.finalize()
 	return res
 }
 
-// runFleetShard simulates global clients [from, to) on one tree.
-func runFleetShard(f Fleet, from, to int) *FleetResult {
+// runFleetCell simulates global clients [from, to) — one aggregation
+// group — on its own tree.
+func runFleetCell(f Fleet, from, to int) *FleetResult {
 	n := to - from
-	sch := sim.NewScheduler(fleetShardSeed(f.Seed, from))
+	sch := sim.NewScheduler(fleetCellSeed(f.Seed, from))
 	server := tcp.NewHost(sch, session.ServerAddr[0], session.ServerAddr[1], session.ServerAddr[2], session.ServerAddr[3])
 	tree := netem.NewTree(sch, f.Tree, server)
 	server.SetLink(tree.CoreDown)
@@ -538,7 +604,7 @@ func runFleetShard(f Fleet, from, to int) *FleetResult {
 	}
 
 	starts := f.Arrival.Times(n, sch.Rand())
-	clients := make([]fleetClient, n)
+	states := make([]clientState, n)
 	players := make([]player.Player, n)
 	perAgg := make([]*stats.Binned, 0, tree.Group(n-1)+1)
 	for j := 0; j < n; j++ {
@@ -555,8 +621,8 @@ func runFleetShard(f Fleet, from, to int) *FleetResult {
 			tree.AggDown[g].AddTap(utilTap{bins: []*stats.Binned{res.AggUtil, perAgg[g]}})
 			f.Down.Apply(sch, tree.AggDown[g])
 		}
-		clients[j] = fleetClient{start: starts[j], first: -1}
-		tree.AccessDown[j].AddTap(clientTap{c: &clients[j], util: res.AccessUtil})
+		states[j] = clientState{start: starts[j], first: -1, util: res.AccessUtil}
+		tree.AccessDown[j].AddTap(&states[j])
 		env := &player.Env{Sch: sch, Host: host, Server: packet.Endpoint{Addr: session.ServerAddr, Port: 80}}
 		p := kinds[j].New()
 		players[j] = p
@@ -570,8 +636,8 @@ func runFleetShard(f Fleet, from, to int) *FleetResult {
 
 	sch.RunUntil(f.Duration)
 
-	for j := range clients {
-		c := &clients[j]
+	for j := range states {
+		c := &states[j]
 		res.Downloaded += players[j].Downloaded()
 		q := players[j].QoE(sch.Now())
 		res.RebufCount.Add(float64(q.Rebuffers))
@@ -618,7 +684,7 @@ func runFleetShard(f Fleet, from, to int) *FleetResult {
 	res.AggDropped = agg
 	res.AccessDropped = access
 	res.Unrouted = tree.Unrouted()
-	// InducedCoreLoss is derived once, in RunFleet, from the merged
-	// counters — it covers the single-shard case too.
+	// InducedCoreLoss is derived once, in finalize, from the merged
+	// counters — it covers the single-cell case too.
 	return res
 }

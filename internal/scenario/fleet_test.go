@@ -16,7 +16,9 @@ import (
 
 // detFleet is the fleet the determinism suite runs: the acceptance
 // scale (1,000 clients outside -race) on the default multi-tier tree,
-// sharded so the merge path actually exercises cross-shard folding.
+// spanning dozens of cells so the merge path actually exercises
+// cross-cell folding. Shards is set (and ignored) on purpose: results
+// must not depend on it.
 func detFleet() Fleet {
 	return Fleet{
 		Mix:      []MixEntry{{Player: Flash, Weight: 1}, {Player: FirefoxHtml5, Weight: 1}},
@@ -25,6 +27,23 @@ func detFleet() Fleet {
 		Arrival:  Arrival{Kind: Staggered, Window: 8 * time.Second},
 		Seed:     11,
 		Shards:   4,
+	}
+}
+
+// TestFleetShardCountInvariant pins the tentpole guarantee directly:
+// the deprecated Shards hint must not influence a single byte of the
+// result.
+func TestFleetShardCountInvariant(t *testing.T) {
+	f := detFleet()
+	f.Clients = 100 // 4 cells, one ragged
+	f.Shards = 1
+	a := RunFleet(runner.Options{Workers: 1}, f)
+	f.Shards = 7
+	b := RunFleet(runner.Options{Workers: 3}, f)
+	a.Fleet.Shards = 0 // resolved specs differ only in the ignored hint
+	b.Fleet.Shards = 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("shard hint changed the result:\n1 shard: %s\n7 shards: %s", a.Render(), b.Render())
 	}
 }
 
@@ -231,7 +250,7 @@ func TestFleetValidate(t *testing.T) {
 	bad := []Fleet{
 		{Mix: []MixEntry{{Player: Flash, Weight: 0}}},
 		{Mix: []MixEntry{{Player: Flash, Weight: 1}, {Player: NetflixIPad, Weight: 1}}},
-		{Clients: 70000},
+		{Clients: 17_000_000},
 		{Clients: 4, Shards: 8},
 		{Duration: 10 * time.Second, Warmup: 10 * time.Second},
 	}

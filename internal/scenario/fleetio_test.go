@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// serFleet exercises every serialized field: an adaptive mix populates
+// the playback sketches and RungSec, Exact retains the per-client
+// vectors, and a ragged tail (clients not divisible by the group size)
+// checks partial cells.
+func serFleet(clients int) Fleet {
+	return Fleet{
+		Mix:      []MixEntry{{Player: AbrBuffer, Weight: 1}, {Player: AbrRate, Weight: 2}},
+		Clients:  clients,
+		Duration: 12 * time.Second,
+		Arrival:  Arrival{Kind: Staggered, Window: 5 * time.Second},
+		Seed:     23,
+		Exact:    true,
+	}
+}
+
+// TestFleetResultRoundTrip pins the exactness of the codec: marshal →
+// unmarshal → reflect.DeepEqual across every sketch, binned series,
+// vector and scalar field, and re-marshalling the decoded result
+// reproduces the original bytes (the encoding is canonical).
+func TestFleetResultRoundTrip(t *testing.T) {
+	f := serFleet(70)
+	res := RunFleet(runner.Options{Workers: 1}, f)
+
+	data, err := res.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalFleetResult(data, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, res)
+	}
+	re, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, data) {
+		t.Fatal("re-marshalling the decoded result changed the bytes")
+	}
+
+	// Without Exact the presence flag must round-trip to nil.
+	f2 := serFleet(33)
+	f2.Exact = false
+	res2 := RunFleet(runner.Options{Workers: 1}, f2)
+	data2, _ := res2.MarshalBinary()
+	got2, err := UnmarshalFleetResult(data2, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Exact != nil {
+		t.Fatal("Exact resurrected from a run that did not retain it")
+	}
+	if !reflect.DeepEqual(got2, res2) {
+		t.Fatal("round-trip mismatch without Exact")
+	}
+}
+
+func TestFleetResultCodecErrors(t *testing.T) {
+	f := serFleet(33)
+	res := RunFleet(runner.Options{Workers: 1}, f)
+	data, _ := res.MarshalBinary()
+	for _, cut := range []int{0, 7, 8, len(data) / 2, len(data) - 1} {
+		if _, err := UnmarshalFleetResult(data[:cut], f); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	if _, err := UnmarshalFleetResult(append(data, 0), f); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if _, err := UnmarshalFleetResult(bad, f); err == nil {
+		t.Fatal("bad magic decoded without error")
+	}
+}
+
+// TestFleetMergeSerializedCells is the distributed-protocol golden at
+// the acceptance scale (1,000 clients outside -race): cells serialized
+// in contiguous ranges across several streams — exactly what -distributed
+// child processes emit — must merge into a result that is DeepEqual to
+// AND byte-identical with a single-process run.
+func TestFleetMergeSerializedCells(t *testing.T) {
+	f := detFleet()
+	f.Exact = true
+	single := RunFleet(runner.Options{Workers: 1}, f)
+	singleBytes, _ := single.MarshalBinary()
+
+	cells := f.Cells()
+	if cells < 3 {
+		t.Fatalf("fleet too small to split: %d cells", cells)
+	}
+	// Uneven contiguous ranges, like child processes with ragged
+	// splits (duplicate cuts collapse at small -race scales).
+	cuts := []int{0, cells / 3, cells / 2, cells}
+	var streams []*bytes.Buffer
+	for i := 0; i+1 < len(cuts); i++ {
+		if cuts[i] >= cuts[i+1] {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := WriteFleetCells(&buf, runner.Options{Workers: 2}, f, cuts[i], cuts[i+1]); err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, &buf)
+	}
+	readers := make([]io.Reader, len(streams))
+	for i, s := range streams {
+		readers[i] = s
+	}
+	merged, err := MergeFleetCellStreams(f, readers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged, single) {
+		t.Fatalf("merged serialized cells differ from single-process run:\nmerged: %s\nsingle: %s",
+			merged.Render(), single.Render())
+	}
+	mergedBytes, _ := merged.MarshalBinary()
+	if !bytes.Equal(mergedBytes, singleBytes) {
+		t.Fatal("merged artifact bytes differ from single-process bytes")
+	}
+
+	// A stream that covers only part of the fleet must be rejected.
+	var partial bytes.Buffer
+	if err := WriteFleetCells(&partial, runner.Options{Workers: 1}, f, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeFleetCellStreams(f, &partial); err == nil {
+		t.Fatal("partial coverage merged without error")
+	}
+}
+
+func TestWriteFleetCellsValidatesRange(t *testing.T) {
+	f := serFleet(70)
+	var buf bytes.Buffer
+	for _, r := range [][2]int{{-1, 1}, {0, 100}, {2, 2}, {3, 1}} {
+		if err := WriteFleetCells(&buf, runner.Options{}, f, r[0], r[1]); err == nil {
+			t.Fatalf("range %v accepted", r)
+		}
+	}
+}

@@ -216,9 +216,12 @@ func (t *dispatchTap) Capture(at time.Duration, seg *packet.Segment) {
 	}
 }
 
-// clientAddr numbers shared-run clients from 10.0.0.1 upward.
+// clientAddr numbers clients from 10.0.0.1 upward across the whole
+// 10.0.0.0/8 plan: three octets of i+1, injective below 2^24-1 and
+// identical to the historical 10.0/16 numbering for the first 65535
+// clients, so group-aligned fleet runs keep their exact addresses.
 func clientAddr(i int) [4]byte {
-	return [4]byte{10, 0, byte((i + 1) >> 8), byte(i + 1)}
+	return [4]byte{10, byte((i + 1) >> 16), byte((i + 1) >> 8), byte(i + 1)}
 }
 
 // RunShared executes every session of the spec on one shared

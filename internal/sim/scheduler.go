@@ -4,14 +4,17 @@
 // (time, insertion-order) order, so runs with the same seed are fully
 // reproducible.
 //
-// The event queue is a value-based 4-ary heap: entries are stored
-// inline, so scheduling a fire-and-forget event performs no allocation
-// beyond the callback itself. Hot paths that would otherwise allocate a
-// closure per event can instead implement Task and schedule themselves
-// with AtTask, passing a small op code to select the behaviour.
-// Cancellable timers draw bookkeeping slots from a free list, so
-// re-arming a timer (the TCP RTO pattern) is allocation-free at steady
-// state.
+// The event queue is a two-tier structure: a hierarchical timer wheel
+// (wheel.go) absorbs mid-range timers with O(1) insertion and
+// heap-free cancellation, while a value-based 4-ary heap orders the
+// imminent frontier by (time, insertion-order) and holds far-future
+// overflow. Entries are stored inline, so scheduling a fire-and-forget
+// event performs no allocation beyond the callback itself. Hot paths
+// that would otherwise allocate a closure per event can instead
+// implement Task and schedule themselves with AtTask, passing a small
+// op code to select the behaviour. Cancellable timers draw bookkeeping
+// slots from a free list, so re-arming a timer (the TCP RTO pattern)
+// is allocation-free at steady state.
 package sim
 
 import (
@@ -94,12 +97,23 @@ type Scheduler struct {
 	free    []int32
 	rng     *rand.Rand
 	stopped bool
+
+	// Hierarchical timer wheel (see wheel.go). The heap above holds the
+	// imminent frontier plus far-future overflow; mid-range events park
+	// in wheel slots and cascade into the heap before they can fire.
+	wheel   [wheelLevels][wheelSlots]int32       // per-slot list head, index+1 into wnodes
+	wbits   [wheelLevels][wheelSlots / 64]uint64 // slot occupancy bitmaps
+	wnodes  []wheelNode
+	wfree   []int32 // recycled wnodes entries, index+1
+	wcount  int     // events currently parked in the wheel
+	wcursor int64   // tick the wheel has advanced to; wheel events are strictly later
+	wbound  int64   // cached earliest occupied slot start (ticks); -1 = recompute
 }
 
 // NewScheduler returns a scheduler whose clock starts at zero and whose
 // random source is seeded with seed.
 func NewScheduler(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	return &Scheduler{rng: rand.New(rand.NewSource(seed)), wbound: -1}
 }
 
 // Now returns the current virtual time.
@@ -112,7 +126,14 @@ func (s *Scheduler) schedule(t time.Duration, fn func(), task Task, op int32, sl
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	s.push(event{at: t, seq: s.seq, fn: fn, task: task, op: op, slot: slot})
+	if s.wcount == 0 {
+		// An empty wheel can advance for free; keeping the cursor at the
+		// clock keeps short delays in level 0 instead of overflow.
+		if nowTick := int64(s.now >> tickShift); nowTick > s.wcursor {
+			s.wcursor = nowTick
+		}
+	}
+	s.place(event{at: t, seq: s.seq, fn: fn, task: task, op: op, slot: slot})
 	s.seq++
 }
 
@@ -269,24 +290,20 @@ func (s *Scheduler) siftDown(ev event) {
 // Step runs the single earliest pending event. It reports whether an
 // event was run.
 func (s *Scheduler) Step() bool {
-	for len(s.heap) > 0 {
-		ev := s.pop()
-		if ev.slot != noSlot {
-			cancelled := s.slots[ev.slot].stopped
-			s.freeSlot(ev.slot)
-			if cancelled {
-				continue
-			}
-		}
-		s.now = ev.at
-		if ev.fn != nil {
-			ev.fn()
-		} else {
-			ev.task.RunTask(ev.op)
-		}
-		return true
+	if _, ok := s.nextReady(); !ok {
+		return false
 	}
-	return false
+	ev := s.pop()
+	if ev.slot != noSlot {
+		s.freeSlot(ev.slot)
+	}
+	s.now = ev.at
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.task.RunTask(ev.op)
+	}
+	return true
 }
 
 // Run processes events until none remain or Stop is called.
@@ -314,18 +331,9 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 }
 
 // peek reports the timestamp of the earliest live event, discarding
-// cancelled timers it encounters at the top of the heap.
+// cancelled timers it encounters and cascading the wheel as needed.
 func (s *Scheduler) peek() (time.Duration, bool) {
-	for len(s.heap) > 0 {
-		ev := &s.heap[0]
-		if ev.slot != noSlot && s.slots[ev.slot].stopped {
-			popped := s.pop()
-			s.freeSlot(popped.slot)
-			continue
-		}
-		return ev.at, true
-	}
-	return 0, false
+	return s.nextReady()
 }
 
 // Stop aborts a Run or RunUntil in progress after the current event.
@@ -333,7 +341,7 @@ func (s *Scheduler) Stop() { s.stopped = true }
 
 // Pending returns the number of live scheduled events.
 func (s *Scheduler) Pending() int {
-	n := 0
+	n := s.wheelPending()
 	for i := range s.heap {
 		ev := &s.heap[i]
 		if ev.slot != noSlot && s.slots[ev.slot].stopped {

@@ -55,7 +55,7 @@ func NewSketch(relErr float64) *Sketch {
 		RelErr:  relErr,
 		gamma:   gamma,
 		lnGamma: math.Log(gamma),
-		counts:  make(map[int]int64),
+		counts:  make(map[int]int64, 128), // presized: ~O(log range) bins, avoids rehash growth on the fleet hot path
 		min:     math.Inf(1),
 		max:     math.Inf(-1),
 	}

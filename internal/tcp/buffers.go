@@ -1,5 +1,7 @@
 package tcp
 
+import "repro/internal/packet"
+
 // Byte buffers shared by sender and receiver sides. Bulk media bytes
 // are zero-filled: WriteZero appends windows onto a shared read-only
 // zero page, so a 200 MB simulated video costs a few dozen slice
@@ -92,7 +94,22 @@ func (b *sendBuffer) Slice(off int64, n int) ([]byte, bool) {
 	if rel+n <= len(c.data) {
 		return c.data[rel : rel+n], true
 	}
-	// Spans chunks: copy.
+	// Spans chunks. Bulk media spans zero-page chunks on both sides:
+	// the copy would be all zeros, so alias the shared zero page
+	// instead of allocating one (the dominant allocation of a fleet
+	// run otherwise).
+	if n <= zeroPageSize {
+		zero := true
+		for i := lo; i < len(b.chunks) && b.chunks[i].off < off+int64(n); i++ {
+			if d := b.chunks[i].data; len(d) == 0 || &d[0] != &zeroPage[0] {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			return zeroPage[:n], true
+		}
+	}
 	out := make([]byte, 0, n)
 	out = append(out, c.data[rel:]...)
 	for i := lo + 1; i < len(b.chunks) && len(out) < n; i++ {
@@ -100,6 +117,63 @@ func (b *sendBuffer) Slice(off int64, n int) ([]byte, bool) {
 		out = append(out, b.chunks[i].data[:take]...)
 	}
 	return out, true
+}
+
+// oooQueue holds out-of-order segments keyed by stream offset, sorted
+// ascending. A reassembly queue is almost always a handful of entries
+// (one loss event's flight), so a sorted slice with binary search
+// replaces the per-connection map: inserts reuse the backing array
+// across the connection's whole life instead of growing bucket chains,
+// which removes the second-largest allocation of a fleet run.
+type oooQueue struct {
+	entries []oooEntry
+}
+
+type oooEntry struct {
+	off int64
+	seg *packet.Segment
+}
+
+func (q *oooQueue) len() int { return len(q.entries) }
+
+// search returns the index of the first entry with offset >= off.
+func (q *oooQueue) search(off int64) int {
+	lo, hi := 0, len(q.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q.entries[mid].off < off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// put inserts seg at off, replacing any existing entry at the same
+// offset (matching the map semantics it replaces).
+func (q *oooQueue) put(off int64, seg *packet.Segment) {
+	i := q.search(off)
+	if i < len(q.entries) && q.entries[i].off == off {
+		q.entries[i].seg = seg
+		return
+	}
+	q.entries = append(q.entries, oooEntry{})
+	copy(q.entries[i+1:], q.entries[i:])
+	q.entries[i] = oooEntry{off: off, seg: seg}
+}
+
+// take removes and returns the entry at exactly off.
+func (q *oooQueue) take(off int64) (*packet.Segment, bool) {
+	i := q.search(off)
+	if i >= len(q.entries) || q.entries[i].off != off {
+		return nil, false
+	}
+	seg := q.entries[i].seg
+	copy(q.entries[i:], q.entries[i+1:])
+	q.entries[len(q.entries)-1] = oooEntry{}
+	q.entries = q.entries[:len(q.entries)-1]
+	return seg, true
 }
 
 // recvBuffer stores in-order received bytes until the application

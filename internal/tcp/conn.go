@@ -68,7 +68,7 @@ type Conn struct {
 	irs       uint32
 	rcvNxt    int64 // next expected stream offset from peer
 	rcvBuf    recvBuffer
-	ooo       map[int64]*packet.Segment
+	ooo       oooQueue
 	lastAdvW  int
 	ackTimer  sim.Timer
 	unacked   int // segments received since last ACK sent
@@ -109,7 +109,6 @@ func newConn(h *Host, cfg Config, local, peer packet.Endpoint) *Conn {
 		rto:          time.Second, // RFC 6298 initial
 		rttSampleOff: -1,
 		finAt:        -1,
-		ooo:          make(map[int64]*packet.Segment),
 		lastAdvW:     cfg.RecvBuf,
 	}
 	return c
@@ -770,11 +769,10 @@ func (c *Conn) processData(seg *packet.Segment) {
 			// Drain contiguous out-of-order segments (space was
 			// reserved by the advertised window).
 			for {
-				next, ok := c.ooo[c.rcvNxt]
+				next, ok := c.ooo.take(c.rcvNxt)
 				if !ok {
 					break
 				}
-				delete(c.ooo, c.rcvNxt)
 				c.acceptPayload(next, 0, next.Len())
 				c.rcvNxt += int64(next.Len())
 				if next.HasFlag(packet.FlagFIN) {
@@ -797,8 +795,8 @@ func (c *Conn) processData(seg *packet.Segment) {
 		}
 	default: // segOff > c.rcvNxt
 		// Out of order: hold (bounded) and send an immediate dup ACK.
-		if len(c.ooo) < 4096 {
-			c.ooo[segOff] = seg
+		if c.ooo.len() < 4096 {
+			c.ooo.put(segOff, seg)
 			c.host.retained = true // survives Deliver; recycled on drain
 		}
 		c.sendAck()
