@@ -83,6 +83,20 @@ func parse(r io.Reader, echo io.Writer) []Result {
 	return out
 }
 
+// reportStamp resolves the generated_at field: the wall clock by
+// default (vbench is a cmd/, outside the simulation's virtual-time
+// contract), or a caller-pinned RFC3339 instant so two CI runs of the
+// same commit produce byte-identical BENCH_<n>.json files.
+func reportStamp(stamp string) (string, error) {
+	if stamp == "" {
+		return time.Now().UTC().Format(time.RFC3339), nil
+	}
+	if _, err := time.Parse(time.RFC3339, stamp); err != nil {
+		return "", fmt.Errorf("invalid -stamp %q: %w", stamp, err)
+	}
+	return stamp, nil
+}
+
 func main() {
 	n := flag.Int("n", 1, "PR number; output file is BENCH_<n>.json")
 	bench := flag.String("bench", ".", "benchmark regex passed to go test")
@@ -90,14 +104,20 @@ func main() {
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	stdin := flag.Bool("stdin", false, "parse `go test -bench` output from stdin instead of running it")
 	out := flag.String("out", "", "output path (default BENCH_<n>.json)")
+	stamp := flag.String("stamp", "", "override generated_at (RFC3339) so reports diff reproducibly in CI")
 	flag.Parse()
 
 	path := *out
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%d.json", *n)
 	}
+	generatedAt, err := reportStamp(*stamp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbench:", err)
+		os.Exit(1)
+	}
 	rep := Report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GeneratedAt: generatedAt,
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
 	}

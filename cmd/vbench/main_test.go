@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestParseCustomMetricColumns pins the property the fleet benchmarks
@@ -38,5 +39,26 @@ func TestParseIgnoresNonBenchLines(t *testing.T) {
 	got := parse(strings.NewReader("goos: linux\nPASS\nok \trepro\t1.0s\n"), nil)
 	if got == nil || len(got) != 0 {
 		t.Fatalf("parse of non-bench output = %#v, want empty non-nil slice", got)
+	}
+}
+
+// TestReportStamp pins the -stamp satellite: a pinned RFC3339 instant
+// passes through verbatim (reproducible BENCH_*.json diffs in CI),
+// the default is a valid RFC3339 wall-clock read, and garbage errors
+// out instead of silently stamping an unparseable report.
+func TestReportStamp(t *testing.T) {
+	const pinned = "2026-08-08T00:00:00Z"
+	if got, err := reportStamp(pinned); err != nil || got != pinned {
+		t.Fatalf("reportStamp(%q) = %q, %v; want it verbatim", pinned, got, err)
+	}
+	got, err := reportStamp("")
+	if err != nil {
+		t.Fatalf("reportStamp(\"\"): %v", err)
+	}
+	if _, err := time.Parse(time.RFC3339, got); err != nil {
+		t.Fatalf("default stamp %q is not RFC3339: %v", got, err)
+	}
+	if _, err := reportStamp("yesterday-ish"); err == nil {
+		t.Fatal("reportStamp accepted an unparseable stamp")
 	}
 }

@@ -1,0 +1,118 @@
+// Command vlint runs the repo's determinism-lint suite: four static
+// analyzers (maprange, walltime, globalrand, goroutine) that enforce
+// the bit-identical-replay contract at the toolchain level instead of
+// leaving it to golden tests and reviewer vigilance. See the README's
+// "Determinism contract" section for the rules and the
+// //vlint:unordered escape hatch.
+//
+// Usage:
+//
+//	go run ./cmd/vlint ./...          # whole module (the CI gate)
+//	go run ./cmd/vlint ./internal/sim ./internal/tcp
+//	go run ./cmd/vlint -help          # rule documentation
+//
+// Exit status is 1 when any diagnostic is reported, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the multichecker; factored from main so cmd/vlint's
+// own tests can drive it over fixture modules.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", "", "module root to lint (default: nearest go.mod above the working directory)")
+	help := fs.Bool("help", false, "print the analyzer rule documentation and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: vlint [-root dir] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *help {
+		for _, a := range lint.All {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if *root == "" {
+		dir, err := findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, "vlint:", err)
+			return 2
+		}
+		*root = dir
+	}
+
+	loader, err := lint.NewLoader(*root)
+	if err != nil {
+		fmt.Fprintln(stderr, "vlint:", err)
+		return 2
+	}
+	pkgs, err := loader.Packages(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "vlint:", err)
+		return 2
+	}
+
+	bad := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "vlint: warning: %s: %v\n", pkg.Path, terr)
+		}
+		diags, err := lint.Run(pkg, lint.All)
+		if err != nil {
+			fmt.Fprintln(stderr, "vlint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			bad++
+			pos := d.Pos
+			if rel, err := filepath.Rel(*root, pos.Filename); err == nil {
+				pos.Filename = rel
+			}
+			fmt.Fprintf(stdout, "%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(stdout, "vlint: %d violation(s)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod, mirroring the go tool's module resolution.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var diagLine = regexp.MustCompile(`\.go:\d+:\d+: .+ \((maprange|walltime|globalrand|goroutine)\)$`)
+
+// TestBadModule drives the multichecker over a known-bad fixture
+// module in which each analyzer has exactly one seeded violation, and
+// asserts each fires exactly once.
+func TestBadModule(t *testing.T) {
+	var out, errs bytes.Buffer
+	code := run([]string{"-root", "testdata/badmod", "./..."}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errs.String())
+	}
+	if errs.Len() != 0 {
+		t.Errorf("unexpected warnings:\n%s", errs.String())
+	}
+	counts := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if m := diagLine.FindStringSubmatch(line); m != nil {
+			counts[m[1]]++
+		}
+	}
+	for _, name := range []string{"maprange", "walltime", "globalrand", "goroutine"} {
+		if counts[name] != 1 {
+			t.Errorf("analyzer %s fired %d times, want exactly 1\noutput:\n%s",
+				name, counts[name], out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "vlint: 4 violation(s)") {
+		t.Errorf("missing summary line in output:\n%s", out.String())
+	}
+}
+
+// TestRepoClean is the acceptance gate in test form: the suite must
+// exit 0 over the entire module, i.e. every real map-range site is
+// sorted, provably commutative, or annotated, and no simulation code
+// touches the wall clock, the global rand source, or goroutines.
+func TestRepoClean(t *testing.T) {
+	var out, errs bytes.Buffer
+	code := run([]string{"-root", "../..", "./..."}, &out, &errs)
+	if code != 0 {
+		t.Fatalf("vlint on the repo exited %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errs.String())
+	}
+	if errs.Len() != 0 {
+		t.Errorf("type-check warnings over the repo (loader should resolve everything):\n%s", errs.String())
+	}
+}
+
+// TestHelpListsAnalyzers keeps -help wired to the suite.
+func TestHelpListsAnalyzers(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-help"}, &out, &errs); code != 0 {
+		t.Fatalf("-help exited %d", code)
+	}
+	for _, name := range []string{"maprange", "walltime", "globalrand", "goroutine"} {
+		if !strings.Contains(out.String(), name+":") {
+			t.Errorf("-help output missing %s:\n%s", name, out.String())
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package agg is a deliberately broken internal package: one
+// order-leaking map iteration (maprange) and one global-source draw
+// (globalrand), exactly one violation per analyzer.
+package agg
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dump prints in map order.
+func Dump(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// Roll draws from the process-global source.
+func Roll() int {
+	return rand.Intn(6)
+}

@@ -1,0 +1,16 @@
+// Package sim is a deliberately broken cell package: one wall-clock
+// read (walltime) and one spawned goroutine (goroutine), exactly one
+// violation per analyzer.
+package sim
+
+import "time"
+
+// Boot waits on the host clock inside the event loop.
+func Boot() {
+	time.Sleep(time.Millisecond)
+}
+
+// Fan runs a cell concurrently.
+func Fan() {
+	go Boot()
+}

@@ -297,8 +297,15 @@ func (cc *ClientConn) OnBody(fn func(avail int)) { cc.onBody = fn }
 func (cc *ClientConn) Get(path string, headers map[string]string) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "GET %s HTTP/1.1\r\nHost: media\r\n", path)
-	for k, v := range headers {
-		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	// Headers are wire bytes: emit in sorted order so the request (and
+	// everything downstream of it) is identical across replays.
+	keys := make([]string, 0, len(headers))
+	for k := range headers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, headers[k])
 	}
 	b.WriteString("\r\n")
 	if cc.connected {

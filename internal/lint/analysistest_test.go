@@ -1,0 +1,135 @@
+package lint
+
+// A miniature analysistest: fixtures under testdata/src/<name> carry
+// `// want "regexp"` comments on the lines where their analyzer must
+// fire; the harness loads the directory under a caller-chosen import
+// path (so scope rules are exercised by path, not location), runs one
+// analyzer, and requires an exact match between wants and
+// diagnostics. This mirrors golang.org/x/tools/go/analysis/analysistest,
+// rebuilt on the stdlib because the module vendors nothing.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// sharedLoader caches type-checked stdlib packages across fixture
+// tests; a fresh loader per test would re-check time/sync/fmt each
+// run for no benefit.
+var sharedLoader *Loader
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	if sharedLoader == nil {
+		l, err := NewLoader("testdata")
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		sharedLoader = l
+	}
+	return sharedLoader
+}
+
+// loadFixture type-checks testdata/src/<name> as importPath.
+func loadFixture(t *testing.T, name, importPath string) *Package {
+	t.Helper()
+	pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", "src", name), importPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", name, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+// fixtureWants maps file base name and line to the expected
+// diagnostic pattern.
+type wantKey struct {
+	file string
+	line int
+}
+
+func fixtureWants(t *testing.T, name string) map[wantKey]string {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[wantKey]string)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRE.FindStringSubmatch(line); m != nil {
+				wants[wantKey{e.Name(), i + 1}] = m[1]
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture checks analyzer a over the named fixture loaded at
+// importPath: every want line must produce one matching diagnostic,
+// and no diagnostic may land on a line without a want.
+func runFixture(t *testing.T, a *Analyzer, name, importPath string) {
+	t.Helper()
+	pkg := loadFixture(t, name, importPath)
+	diags, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	wants := fixtureWants(t, name)
+	matched := make(map[wantKey]bool)
+	for _, d := range diags {
+		key := wantKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		pat, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", key.file, key.line, d.Message)
+			continue
+		}
+		if matched[key] {
+			t.Errorf("second diagnostic at %s:%d: %s", key.file, key.line, d.Message)
+			continue
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("bad want pattern %q at %s:%d: %v", pat, key.file, key.line, err)
+		}
+		if !re.MatchString(d.Message) {
+			t.Errorf("diagnostic at %s:%d = %q, want match for %q", key.file, key.line, d.Message, pat)
+			continue
+		}
+		matched[key] = true
+	}
+	for key, pat := range wants {
+		if !matched[key] {
+			t.Errorf("no diagnostic at %s:%d, want match for %q", key.file, key.line, pat)
+		}
+	}
+}
+
+// expectSilent asserts the analyzer reports nothing for the fixture
+// when loaded at an out-of-scope import path.
+func expectSilent(t *testing.T, a *Analyzer, name, importPath string) {
+	t.Helper()
+	pkg := loadFixture(t, name, importPath)
+	diags, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		t.Errorf("analyzer %s fired at out-of-scope path %s: %s", a.Name, importPath, d)
+	}
+}

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GlobalRand forbids the process-global math/rand source in non-test
+// code, everywhere in the module. The global source is shared across
+// goroutines and seeded per process, so any draw from it couples the
+// result to scheduling and to unrelated draws elsewhere — randomness
+// must flow through an explicitly seeded *rand.Rand (in simulation
+// code, the scheduler's: sim.Scheduler.Rand()). Constructors that
+// build such sources (rand.New, rand.NewSource, rand.NewZipf) stay
+// legal; every top-level draw (rand.Intn, rand.Float64, …) and
+// rand.Seed are violations.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid global math/rand functions; draw from a seeded *rand.Rand instead",
+	Run:  runGlobalRand,
+}
+
+// randConstructors are the math/rand (and v2) functions that build an
+// explicit generator instead of touching the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runGlobalRand(pass *Pass) error {
+	report := func(sel *ast.SelectorExpr) {
+		if randConstructors[sel.Sel.Name] {
+			return
+		}
+		verb := "draws from"
+		if sel.Sel.Name == "Seed" {
+			verb = "reseeds"
+		}
+		pass.Reportf(sel.Pos(), "rand.%s %s the process-global source; "+
+			"use a seeded *rand.Rand (sim.Scheduler.Rand() inside cells)", sel.Sel.Name, verb)
+	}
+	forEachPkgFuncRef(pass.Pkg, "math/rand", report)
+	forEachPkgFuncRef(pass.Pkg, "math/rand/v2", report)
+	return nil
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// Goroutine forbids concurrency constructs inside the cell-execution
+// packages. A cell (one aggregation group with its scheduler, tree
+// and sessions) runs on exactly one goroutine; parallelism is only
+// legal one layer up, where runner/fleet code folds whole cells in a
+// fixed order. A `go` statement, channel or mutex inside a cell
+// package would reintroduce scheduling order as an input to results.
+var Goroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "forbid go statements, channels, select and sync primitives in single-goroutine cell packages",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(pass *Pass) error {
+	if !isCellPackage(pass.Pkg.Path) {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, imp := range file.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				if path == "sync" || path == "sync/atomic" {
+					pass.Reportf(imp.Pos(), "import %q in a single-goroutine cell package; "+
+						"synchronization belongs to the runner/fleet layer", path)
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in a single-goroutine cell package; "+
+					"parallelism is only legal at the runner/fleet layer")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in a single-goroutine cell package")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in a single-goroutine cell package")
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(), "channel type in a single-goroutine cell package; "+
+					"cells communicate by return value through the fixed-order fold")
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in a single-goroutine cell package")
+				}
+			case *ast.RangeStmt:
+				if t := pass.Pkg.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.Pos(), "range over channel in a single-goroutine cell package")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

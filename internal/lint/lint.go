@@ -1,0 +1,173 @@
+// Package lint is the repo's determinism-lint suite: a set of static
+// analyzers that mechanically enforce the bit-identical-replay
+// contract every experiment artifact rests on. A run must produce the
+// same bytes across worker counts, shard hints, OS processes and
+// replays; the analyzers reject the constructs that silently break
+// that — map-iteration order reaching output, wall-clock reads inside
+// the simulation, the global math/rand source, and goroutines or
+// shared-memory synchronization inside single-goroutine cell packages.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis shape
+// (Analyzer / Pass / Reportf / `// want` fixtures) but is built only
+// on the standard library's go/ast + go/types, because this module
+// vendors nothing. Drive it with `go run ./cmd/vlint ./...`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one determinism rule. Run inspects a fully
+// type-checked package and reports violations through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and test expectations.
+	Name string
+	// Doc is the one-paragraph rule statement shown by `vlint -help`.
+	Doc string
+	// Run executes the rule over pass.Pkg.
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Fset returns the file set all package positions resolve through.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported violation, with its position resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// All is the multichecker suite in the order diagnostics are grouped.
+var All = []*Analyzer{MapRange, WallTime, GlobalRand, Goroutine}
+
+// Run executes the analyzers over one loaded package and returns the
+// combined diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		out = append(out, pass.diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// --- package scoping -------------------------------------------------
+//
+// The rules key off the import path, so fixtures can impersonate any
+// scope by loading a directory under a chosen path.
+
+// simulationPackages are the packages whose code executes (or feeds)
+// the virtual-time event loop: wall-clock reads there desynchronize
+// replays. cmd/ and examples/ are deliberately absent — wall time is
+// fine at the process edge.
+var simulationPackages = map[string]bool{
+	"sim": true, "netem": true, "tcp": true, "player": true,
+	"session": true, "scenario": true, "stats": true, "analysis": true,
+}
+
+// cellPackages execute inside a single-goroutine cell; parallelism is
+// only legal one layer up, at the runner/fleet boundary.
+var cellPackages = map[string]bool{
+	"sim": true, "tcp": true, "netem": true, "player": true, "session": true,
+}
+
+// pkgBase returns the final import-path segment.
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// underInternal reports whether the import path has an "internal"
+// segment — the scope the maprange rule patrols.
+func underInternal(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}
+
+// isSimulationPackage reports whether path is one of the virtual-time
+// packages the walltime rule covers. The package allowlist is the
+// complement: anything not internal/<sim pkg> (cmd/, examples/, the
+// lint suite itself) may read the wall clock.
+func isSimulationPackage(path string) bool {
+	return underInternal(path) && simulationPackages[pkgBase(path)]
+}
+
+// isCellPackage reports whether path runs inside a single-goroutine
+// cell (the goroutine rule's scope).
+func isCellPackage(path string) bool {
+	return underInternal(path) && cellPackages[pkgBase(path)]
+}
+
+// --- //vlint:unordered annotations -----------------------------------
+
+const unorderedMarker = "vlint:unordered"
+
+// unorderedAt returns the //vlint:unordered annotation covering the
+// node starting at pos: a line comment on the same line or on the line
+// immediately above. The text after the marker is the required
+// commutativity argument.
+func unorderedAt(fset *token.FileSet, file *ast.File, pos token.Pos) (reason string, ok bool) {
+	line := fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, unorderedMarker) {
+				continue
+			}
+			cline := fset.Position(c.Pos()).Line
+			if cline == line || cline == line-1 {
+				return strings.TrimSpace(strings.TrimPrefix(text, unorderedMarker)), true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fixture suites: each analyzer must fire on every seeded
+// violation and stay silent on the sorted / commutative / annotated /
+// constructor patterns in the same files.
+
+func TestMapRangeFixture(t *testing.T) {
+	runFixture(t, MapRange, "maprange", "repro/internal/mapfix")
+}
+
+func TestMapRangeExemptOutsideInternal(t *testing.T) {
+	// The same violations loaded under cmd/ are out of scope.
+	expectSilent(t, MapRange, "maprange", "repro/cmd/mapfix")
+}
+
+func TestWallTimeFixture(t *testing.T) {
+	runFixture(t, WallTime, "walltime", "repro/internal/sim")
+}
+
+func TestWallTimeAllowlist(t *testing.T) {
+	// cmd/ binaries and non-simulation internals may read the clock.
+	expectSilent(t, WallTime, "walltime", "repro/cmd/vclock")
+	expectSilent(t, WallTime, "walltime", "repro/internal/lintish")
+}
+
+func TestGlobalRandFixture(t *testing.T) {
+	runFixture(t, GlobalRand, "globalrand", "repro/internal/randfix")
+}
+
+func TestGlobalRandAppliesEverywhere(t *testing.T) {
+	// Unlike walltime, the global-source rule has no cmd/ exemption:
+	// the same fixture must fire under any path. Reuse the want
+	// harness at a cmd-shaped import path.
+	runFixture(t, GlobalRand, "globalrand", "repro/cmd/randfix")
+}
+
+func TestGoroutineFixture(t *testing.T) {
+	runFixture(t, Goroutine, "goroutine", "repro/internal/tcp")
+}
+
+func TestGoroutineExemptAtRunnerLayer(t *testing.T) {
+	// Parallelism is legal one layer up: the identical code under
+	// runner (or scenario) must pass.
+	expectSilent(t, Goroutine, "goroutine", "repro/internal/runner")
+	expectSilent(t, Goroutine, "goroutine", "repro/internal/scenario")
+}
+
+// TestScopeHelpers pins the path predicates the rules key off.
+func TestScopeHelpers(t *testing.T) {
+	cases := []struct {
+		path      string
+		sim, cell bool
+	}{
+		{"repro/internal/sim", true, true},
+		{"repro/internal/tcp", true, true},
+		{"repro/internal/stats", true, false},
+		{"repro/internal/analysis", true, false},
+		{"repro/internal/scenario", true, false},
+		{"repro/internal/runner", false, false},
+		{"repro/internal/lint", false, false},
+		{"repro/cmd/vfleet", false, false},
+		{"repro/examples/fleet", false, false},
+		{"sim", false, false}, // not under internal/
+	}
+	for _, c := range cases {
+		if got := isSimulationPackage(c.path); got != c.sim {
+			t.Errorf("isSimulationPackage(%q) = %v, want %v", c.path, got, c.sim)
+		}
+		if got := isCellPackage(c.path); got != c.cell {
+			t.Errorf("isCellPackage(%q) = %v, want %v", c.path, got, c.cell)
+		}
+	}
+}
+
+// TestAnnotationPlacement pins where //vlint:unordered is honored:
+// same line or the line directly above, nowhere else.
+func TestAnnotationPlacement(t *testing.T) {
+	pkg := loadFixture(t, "maprange", "repro/internal/mapfix")
+	diags, err := Run(pkg, []*Analyzer{MapRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture's Annotated func must not appear in any diagnostic.
+	for _, d := range diags {
+		if strings.Contains(d.Message, "max of ints") {
+			t.Errorf("annotated site still reported: %s", d)
+		}
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics at all; wants went unchecked")
+	}
+}

@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one directory of non-test Go files, parsed with
+// comments and fully type-checked. Test files are excluded by
+// construction — every rule in the suite exempts _test.go.
+type Package struct {
+	// Path is the import path the rules scope on (module path + relative
+	// directory, or whatever path the caller loaded the directory as).
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type-checker complaints. The repo always
+	// compiles, so these normally stay empty; the driver surfaces them
+	// as warnings rather than silently analyzing partial information.
+	TypeErrors []error
+}
+
+// A Loader parses and type-checks packages on demand. Imports inside
+// the module resolve by directory mapping (module path prefix →
+// subdirectory); everything else goes to the standard library's
+// source importer, so the loader needs no network, no GOPATH
+// artifacts and no vendored dependencies.
+type Loader struct {
+	// Root is the module root directory.
+	Root string
+	// Module is the module path from Root/go.mod ("" if absent; then
+	// only explicit LoadDir calls and stdlib imports work).
+	Module string
+
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at dir, reading the module path
+// from dir/go.mod when present.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Root:    abs,
+		Module:  modulePath(filepath.Join(abs, "go.mod")),
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// Fset returns the shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// modulePath extracts the module path from a go.mod file, or "".
+func modulePath(gomod string) string {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Import implements types.Importer: module-internal paths load from
+// disk, everything else falls through to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	if l.Module != "" && (path == l.Module || strings.HasPrefix(path, l.Module+"/")) {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+		pkg, err := l.LoadDir(filepath.Join(l.Root, filepath.FromSlash(rel)), path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, l.Root, 0)
+}
+
+// LoadDir parses and type-checks the non-test Go files of one
+// directory under the given import path. Results are cached by path.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no non-test Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg := &Package{
+		Path: path,
+		Dir:  dir,
+		Fset: l.fset,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: importerFunc(l.Import),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, pkg.Info)
+	if tpkg == nil {
+		return nil, err
+	}
+	pkg.Files = files
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Packages expands the given patterns ("./...", "dir/...", or plain
+// directories, relative to Root) and loads each matched package.
+func (l *Loader) Packages(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		if base, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Join(l.Root, filepath.FromSlash(strings.TrimSuffix(base, "/")))
+			walked, err := packageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+			continue
+		}
+		add(filepath.Join(l.Root, filepath.FromSlash(pat)))
+	}
+
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.ToSlash(rel)
+		if path == "." {
+			path = ""
+		}
+		if l.Module != "" {
+			path = strings.TrimSuffix(l.Module+"/"+path, "/")
+		}
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// packageDirs walks root collecting directories that contain at least
+// one non-test Go file, skipping testdata, vendored and hidden trees.
+func packageDirs(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goFileNames(p)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			out = append(out, p)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// goFileNames lists the non-test .go files of dir, sorted for
+// deterministic parse (and therefore diagnostic) order.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

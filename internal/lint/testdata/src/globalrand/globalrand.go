@@ -1,0 +1,38 @@
+package randfix
+
+import "math/rand"
+
+// Roll draws from the process-global source.
+func Roll() int {
+	return rand.Intn(6) // want "rand.Intn draws from the process-global source"
+}
+
+// Reseed perturbs every other global draw in the process.
+func Reseed() {
+	rand.Seed(42) // want "rand.Seed reseeds the process-global source"
+}
+
+// Pick passes a global-source function around by value.
+var Pick = rand.Float64 // want "rand.Float64 draws from the process-global source"
+
+// Local draws from an explicitly seeded generator — legal, and the
+// rand.New/rand.NewSource constructors are exactly the escape route.
+func Local(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Shuffle is legal through a *rand.Rand method too.
+func Shuffle(rng *rand.Rand, xs []int) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Shadow: a local identifier named rand is not the package.
+func Shadow() int {
+	rand := roller{}
+	return rand.Intn(3)
+}
+
+type roller struct{}
+
+func (roller) Intn(n int) int { return n - 1 }

@@ -1,0 +1,26 @@
+package tcp
+
+import "fmt"
+
+// Fire spawns a second goroutine inside a cell.
+func Fire() {
+	go fmt.Println("boom") // want "go statement"
+}
+
+// Pipe builds and uses a channel.
+func Pipe() {
+	ch := make(chan int, 1) // want "channel type"
+	ch <- 1                 // want "channel send"
+	fmt.Println(<-ch)       // want "channel receive"
+}
+
+// Pick blocks on select. (ch1, ch2 share one chan type node.)
+func Pick(ch1, ch2 chan int) { // want "channel type"
+	select { // want "select statement"
+	case <-ch1: // want "channel receive"
+	case <-ch2: // want "channel receive"
+	}
+}
+
+// Deref is an ordinary pointer deref, not a receive — legal.
+func Deref(p *int) int { return *p }

@@ -1,0 +1,16 @@
+package tcp
+
+import "sync" // want "import .sync. in a single-goroutine cell package"
+
+// Guard embeds a mutex; the import line is the diagnostic site.
+type Guard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump takes the lock.
+func (g *Guard) Bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}

@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"fmt"
+	stdtime "time"
+)
+
+// Tick is duration data, not a clock read — legal.
+const Tick = stdtime.Millisecond
+
+// Step reads the wall clock mid-simulation. The renamed import proves
+// detection resolves through the type checker, not the token "time".
+func Step(prev stdtime.Time) stdtime.Duration {
+	stdtime.Sleep(Tick)        // want "time.Sleep reads the wall clock"
+	_ = stdtime.Now()          // want "time.Now reads the wall clock"
+	return stdtime.Since(prev) // want "time.Since reads the wall clock"
+}
+
+// Wait arms a host timer.
+func Wait() {
+	<-stdtime.After(Tick) // want "time.After reads the wall clock"
+}
+
+// Elapsed formats a virtual duration — legal.
+func Elapsed(d stdtime.Duration) string { return fmt.Sprint(d) }
+
+// Parse builds times from data, which is deterministic — legal.
+func Parse(s string) (stdtime.Time, error) {
+	return stdtime.Parse(stdtime.RFC3339, s)
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime forbids wall-clock reads inside the simulation packages.
+// Everything under the event loop runs on virtual time
+// (sim.Scheduler.Now); a time.Now or time.Sleep there ties results to
+// the host's clock and scheduler, so two replays of the same seed
+// diverge. cmd/, examples/ and _test.go files are exempt — measuring
+// wall time at the process edge is fine.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/Since/Sleep (and friends) in simulation packages; virtual time only",
+	Run:  runWallTime,
+}
+
+// wallClockFuncs are the time-package functions that read or wait on
+// the host clock. time.Duration arithmetic and constants stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runWallTime(pass *Pass) error {
+	if !isSimulationPackage(pass.Pkg.Path) {
+		return nil
+	}
+	forEachPkgFuncRef(pass.Pkg, "time", func(sel *ast.SelectorExpr) {
+		if wallClockFuncs[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock inside a simulation package; "+
+				"use the scheduler's virtual time (sim.Scheduler.Now)", sel.Sel.Name)
+		}
+	})
+	return nil
+}
+
+// forEachPkgFuncRef calls fn for every reference to a package-level
+// function of the package with import path pkgPath — resolved through
+// the type checker, so renamed imports and shadowing locals are
+// handled precisely.
+func forEachPkgFuncRef(pkg *Package, pkgPath string, fn func(sel *ast.SelectorExpr)) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pkg.Info.Uses[x].(*types.PkgName)
+			if !ok || pn.Imported().Path() != pkgPath {
+				return true
+			}
+			if _, ok := pkg.Info.Uses[sel.Sel].(*types.Func); !ok {
+				return true
+			}
+			fn(sel)
+			return true
+		})
+	}
+}

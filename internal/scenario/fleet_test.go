@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"bytes"
 	"math"
 	"reflect"
 	"runtime"
@@ -105,6 +106,36 @@ func TestFleetAbrDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if seq.FetchedMbps.Quantile(0.5) <= 0 {
 		t.Fatalf("adaptive fleet fetched nothing: %s", seq.Render())
+	}
+}
+
+// TestFleetGOMAXPROCSInvariant tightens the worker-count invariance
+// to the OS-thread level: two same-seed fleets serialize to
+// byte-identical FleetResult artifacts between GOMAXPROCS=1 (forced
+// single-threaded execution, whatever the pool size) and an
+// oversubscribed parallel pool. Together with the globalrand vlint
+// rule — no draw outside a seeded *rand.Rand, so the per-cell
+// sim.Scheduler rng is the only randomness source reachable from a
+// cell — this pins that thread scheduling cannot reach result bytes.
+func TestFleetGOMAXPROCSInvariant(t *testing.T) {
+	f := detFleet()
+	f.Clients = 100
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	seq := RunFleet(runner.Options{Workers: runtime.NumCPU() + 3}, f)
+	runtime.GOMAXPROCS(runtime.NumCPU() + 2)
+	par := RunFleet(runner.Options{Workers: runtime.NumCPU() + 3}, f)
+	a, err := seq.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("serialized FleetResult differs between GOMAXPROCS=1 and %d:\nseq: %s\npar: %s",
+			runtime.NumCPU()+2, seq.Render(), par.Render())
 	}
 }
 

@@ -175,6 +175,7 @@ func NewHistogram(samples []float64, binWidth float64) *Histogram {
 // all samples.
 func (h *Histogram) Mode() (center float64, share float64) {
 	best, bestN := 0, -1
+	//vlint:unordered argmax under the total order (count desc, bin asc): every visit order yields the same winner
 	for bin, n := range h.Counts {
 		if n > bestN || (n == bestN && bin < best) {
 			best, bestN = bin, n
