@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// Benchmark comparison: `vbench -compare old.json new.json` renders a
+// benchstat-style delta table over two BENCH_<n>.json reports and, with
+// -fail-allocs <pct>, exits non-zero when any benchmark's allocs/op
+// regresses past the threshold — the CI perf-smoke gate.
+
+// loadReport reads one BENCH_<n>.json file.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// clientsRe extracts the fleet-size sub-benchmark parameter, which
+// drives the derived per-client rows.
+var clientsRe = regexp.MustCompile(`clients=(\d+)`)
+
+// delta formats a relative change as a signed percentage; a zero or
+// missing baseline has no meaningful delta.
+func delta(oldV, newV float64) string {
+	if oldV == 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+}
+
+// pct returns the relative change in percent, NaN when undefined.
+func pct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return math.NaN()
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+func fmtNs(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", v)
+	}
+}
+
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2fGB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2fMB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}
+
+func fmtCount(v float64) string {
+	if v >= 1e6 {
+		return fmt.Sprintf("%.2fM", v/1e6)
+	}
+	if v >= 1e3 {
+		return fmt.Sprintf("%.1fk", v/1e3)
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// compareReports renders the delta table and reports whether any
+// benchmark's allocs/op regression exceeds failAllocsPct (a
+// non-positive threshold never fails). only, when non-nil, restricts
+// the comparison to matching benchmark names.
+func compareReports(oldRep, newRep Report, only *regexp.Regexp, failAllocsPct float64) (string, bool) {
+	newIdx := map[string]*Result{}
+	for i := range newRep.Benchmarks {
+		newIdx[newRep.Benchmarks[i].Name] = &newRep.Benchmarks[i]
+	}
+	oldIdx := map[string]bool{}
+
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "benchmark\tns/op old\tnew\tΔ\tB/op old\tnew\tΔ\tallocs/op old\tnew\tΔ\t\n")
+
+	worst := math.Inf(-1)
+	worstName := ""
+	row := func(name string, o, n *Result, div float64) {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t\n",
+			name,
+			fmtNs(o.NsPerOp/div), fmtNs(n.NsPerOp/div), delta(o.NsPerOp, n.NsPerOp),
+			fmtBytes(float64(o.BytesPerOp)/div), fmtBytes(float64(n.BytesPerOp)/div), delta(float64(o.BytesPerOp), float64(n.BytesPerOp)),
+			fmtCount(float64(o.AllocsPerOp)/div), fmtCount(float64(n.AllocsPerOp)/div), delta(float64(o.AllocsPerOp), float64(n.AllocsPerOp)))
+	}
+	var onlyOld, onlyNew []string
+	for i := range oldRep.Benchmarks {
+		o := &oldRep.Benchmarks[i]
+		oldIdx[o.Name] = true
+		if only != nil && !only.MatchString(o.Name) {
+			continue
+		}
+		n, ok := newIdx[o.Name]
+		if !ok {
+			onlyOld = append(onlyOld, o.Name)
+			continue
+		}
+		row(o.Name, o, n, 1)
+		if m := clientsRe.FindStringSubmatch(o.Name); m != nil {
+			if clients, err := strconv.ParseFloat(m[1], 64); err == nil && clients > 0 {
+				row("  └ per client", o, n, clients)
+			}
+		}
+		if d := pct(float64(o.AllocsPerOp), float64(n.AllocsPerOp)); !math.IsNaN(d) && d > worst {
+			worst, worstName = d, o.Name
+		}
+	}
+	for i := range newRep.Benchmarks {
+		n := &newRep.Benchmarks[i]
+		if only != nil && !only.MatchString(n.Name) {
+			continue
+		}
+		if !oldIdx[n.Name] {
+			onlyNew = append(onlyNew, n.Name)
+		}
+	}
+	tw.Flush()
+	for _, name := range onlyOld {
+		fmt.Fprintf(&b, "only in old: %s\n", name)
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(&b, "only in new: %s\n", name)
+	}
+
+	fail := false
+	if !math.IsInf(worst, -1) {
+		fmt.Fprintf(&b, "worst allocs/op change: %+.1f%% (%s)\n", worst, worstName)
+		if failAllocsPct > 0 && worst > failAllocsPct {
+			fmt.Fprintf(&b, "FAIL: allocs/op regression exceeds %.1f%%\n", failAllocsPct)
+			fail = true
+		}
+	}
+	return b.String(), fail
+}
+
+// runCompare is the -compare entry point; returns the process exit code.
+func runCompare(args []string, onlyPat string, failAllocsPct float64, out *os.File) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "vbench: -compare needs exactly two report paths: vbench -compare [-only re] [-fail-allocs pct] old.json new.json")
+		return 2
+	}
+	var only *regexp.Regexp
+	if onlyPat != "" {
+		var err error
+		if only, err = regexp.Compile(onlyPat); err != nil {
+			fmt.Fprintln(os.Stderr, "vbench: bad -only pattern:", err)
+			return 2
+		}
+	}
+	oldRep, err := loadReport(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbench:", err)
+		return 2
+	}
+	newRep, err := loadReport(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbench:", err)
+		return 2
+	}
+	table, fail := compareReports(oldRep, newRep, only, failAllocsPct)
+	fmt.Fprint(out, table)
+	if fail {
+		return 1
+	}
+	return 0
+}

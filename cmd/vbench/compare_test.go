@@ -1,0 +1,136 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func rep(benchmarks ...Result) Report {
+	return Report{Benchmarks: benchmarks}
+}
+
+func TestCompareDeltaTable(t *testing.T) {
+	oldRep := rep(
+		Result{Name: "BenchmarkSingleSession", NsPerOp: 20e6, BytesPerOp: 400_000, AllocsPerOp: 1000},
+		Result{Name: "BenchmarkFleet/clients=1024", NsPerOp: 10e9, BytesPerOp: 160e6, AllocsPerOp: 175_000},
+	)
+	newRep := rep(
+		Result{Name: "BenchmarkSingleSession", NsPerOp: 15e6, BytesPerOp: 400_000, AllocsPerOp: 900},
+		Result{Name: "BenchmarkFleet/clients=1024", NsPerOp: 8e9, BytesPerOp: 150e6, AllocsPerOp: 180_000},
+	)
+	table, fail := compareReports(oldRep, newRep, nil, 0)
+	if fail {
+		t.Fatal("fail with no threshold set")
+	}
+	for _, want := range []string{
+		"BenchmarkSingleSession",
+		"-25.0%", // SingleSession ns/op delta
+		"-10.0%", // SingleSession allocs delta
+		"BenchmarkFleet/clients=1024",
+		"per client",
+		"-20.0%", // Fleet ns/op delta
+		"+2.9%",  // Fleet allocs delta
+		"worst allocs/op change: +2.9% (BenchmarkFleet/clients=1024)", // summary
+	} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	// Per-client derivation: 8e9 ns over 1024 clients = 7.81ms/client.
+	if !strings.Contains(table, "7.81ms") {
+		t.Fatalf("table missing per-client ns value 7.81ms:\n%s", table)
+	}
+}
+
+func TestCompareFailAllocsThreshold(t *testing.T) {
+	oldRep := rep(Result{Name: "BenchmarkX", NsPerOp: 1e6, AllocsPerOp: 100})
+	newRep := rep(Result{Name: "BenchmarkX", NsPerOp: 1e6, AllocsPerOp: 130})
+	table, fail := compareReports(oldRep, newRep, nil, 25)
+	if !fail {
+		t.Fatalf("+30%% allocs must fail a 25%% gate:\n%s", table)
+	}
+	if !strings.Contains(table, "FAIL: allocs/op regression exceeds 25.0%") {
+		t.Fatalf("missing FAIL line:\n%s", table)
+	}
+	if _, fail := compareReports(oldRep, newRep, nil, 35); fail {
+		t.Fatal("+30% allocs must pass a 35% gate")
+	}
+	// Improvements never trip the gate.
+	better := rep(Result{Name: "BenchmarkX", NsPerOp: 1e6, AllocsPerOp: 50})
+	if _, fail := compareReports(oldRep, better, nil, 25); fail {
+		t.Fatal("alloc improvement tripped the gate")
+	}
+}
+
+func TestCompareOnlyFilter(t *testing.T) {
+	oldRep := rep(
+		Result{Name: "BenchmarkKeep", NsPerOp: 1e6, AllocsPerOp: 10},
+		Result{Name: "BenchmarkSkip", NsPerOp: 1e6, AllocsPerOp: 10},
+	)
+	newRep := rep(
+		Result{Name: "BenchmarkKeep", NsPerOp: 2e6, AllocsPerOp: 10},
+		Result{Name: "BenchmarkSkip", NsPerOp: 1e6, AllocsPerOp: 100},
+	)
+	table, fail := compareReports(oldRep, newRep, regexp.MustCompile("Keep"), 25)
+	if fail {
+		t.Fatalf("filtered-out regression tripped the gate:\n%s", table)
+	}
+	if strings.Contains(table, "BenchmarkSkip") {
+		t.Fatalf("filtered benchmark rendered:\n%s", table)
+	}
+	if !strings.Contains(table, "BenchmarkKeep") {
+		t.Fatalf("kept benchmark missing:\n%s", table)
+	}
+}
+
+func TestCompareMissingBenchmarks(t *testing.T) {
+	oldRep := rep(
+		Result{Name: "BenchmarkGone", NsPerOp: 1e6, AllocsPerOp: 10},
+		Result{Name: "BenchmarkBoth", NsPerOp: 1e6, AllocsPerOp: 10},
+	)
+	newRep := rep(
+		Result{Name: "BenchmarkBoth", NsPerOp: 1e6, AllocsPerOp: 10},
+		Result{Name: "BenchmarkNew", NsPerOp: 1e6, AllocsPerOp: 10},
+	)
+	table, fail := compareReports(oldRep, newRep, nil, 25)
+	if fail {
+		t.Fatalf("unchanged benchmark tripped the gate:\n%s", table)
+	}
+	if !strings.Contains(table, "only in old: BenchmarkGone") {
+		t.Fatalf("missing only-in-old note:\n%s", table)
+	}
+	if !strings.Contains(table, "only in new: BenchmarkNew") {
+		t.Fatalf("missing only-in-new note:\n%s", table)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	oldRep := rep(Result{Name: "BenchmarkZ", NsPerOp: 1e6})
+	newRep := rep(Result{Name: "BenchmarkZ", NsPerOp: 1e6, AllocsPerOp: 50})
+	table, fail := compareReports(oldRep, newRep, nil, 25)
+	if fail {
+		t.Fatalf("zero-baseline allocs must not trip the gate:\n%s", table)
+	}
+	if !strings.Contains(table, "?") {
+		t.Fatalf("zero baseline should render '?' delta:\n%s", table)
+	}
+}
+
+func TestCompareUnitFormatting(t *testing.T) {
+	if got := fmtNs(11_426_951_192); got != "11.427s" {
+		t.Fatalf("fmtNs = %q", got)
+	}
+	if got := fmtNs(18_969_775); got != "18.97ms" {
+		t.Fatalf("fmtNs = %q", got)
+	}
+	if got := fmtBytes(160_697_056); got != "153.25MB" {
+		t.Fatalf("fmtBytes = %q", got)
+	}
+	if got := fmtCount(174_932); got != "174.9k" {
+		t.Fatalf("fmtCount = %q", got)
+	}
+	if got := fmtCount(974); got != "974" {
+		t.Fatalf("fmtCount = %q", got)
+	}
+}

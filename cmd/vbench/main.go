@@ -8,6 +8,8 @@
 //	vbench -n 1                       # writes BENCH_1.json from the full suite
 //	vbench -n 2 -bench 'SingleSession' -benchtime 3x
 //	go test -bench=. -benchmem | vbench -n 1 -stdin   # parse an existing run
+//	vbench -compare BENCH_6.json BENCH_7.json         # benchstat-style delta table
+//	vbench -compare -only 'Fleet|SingleSession' -fail-allocs 25 old.json new.json
 package main
 
 import (
@@ -105,7 +107,14 @@ func main() {
 	stdin := flag.Bool("stdin", false, "parse `go test -bench` output from stdin instead of running it")
 	out := flag.String("out", "", "output path (default BENCH_<n>.json)")
 	stamp := flag.String("stamp", "", "override generated_at (RFC3339) so reports diff reproducibly in CI")
+	compare := flag.Bool("compare", false, "compare two BENCH_<n>.json files (positional: old.json new.json) and print a delta table")
+	only := flag.String("only", "", "with -compare: restrict to benchmarks matching this regex")
+	failAllocs := flag.Float64("fail-allocs", 0, "with -compare: exit 1 if any benchmark's allocs/op regresses by more than this percent")
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *only, *failAllocs, os.Stdout))
+	}
 
 	path := *out
 	if path == "" {

@@ -109,18 +109,32 @@ type Tap interface {
 
 // Link is a unidirectional path segment: a drop-tail queue drained at
 // Rate, followed by propagation Delay. The zero value is not usable.
+//
+// Event cost: the link schedules no per-packet events. Queue drains are
+// settled lazily against the scheduler's execution point (settleDrains)
+// and deliveries ride a single pump timer armed for the earliest
+// pending arrival (pump/arm). The firing order observed by receivers is
+// bit-identical to a scheme with two scheduler entries per packet: Send
+// reserves the exact sequence numbers that scheme would have consumed,
+// the pump timer borrows the head record's number, and the pump yields
+// back to the scheduler whenever any other event orders first.
 type Link struct {
 	sch       *sim.Scheduler
 	rate      Bandwidth
 	delay     time.Duration
 	queueCap  int // bytes; 0 means unlimited
-	queued    int // bytes accepted but not yet fully serialized
+	queued    int // bytes accepted minus settled drains
 	busyUntil time.Duration
 	loss      LossModel
 	blocked   bool
 	dst       Receiver
 	taps      []Tap
-	pool      []*delivery
+
+	drains  ring[drainRec]  // end-of-serialization edges, monotone (at, seq)
+	flights ring[flightRec] // in-flight segments, sorted by (deliverAt, seq)
+	armed   bool            // a live pump timer is outstanding
+	armSeq  uint64          // seq the live pump timer borrowed
+	armGen  int32           // op code of the live timer; older arms are stale
 
 	// Counters for tests and diagnostics.
 	Sent    int
@@ -131,44 +145,115 @@ type Link struct {
 	OutageDrops int
 }
 
-// delivery is the per-packet event state: one pooled struct carries a
-// segment through both of its scheduled phases (queue drain at the end
-// of serialization, delivery after propagation), replacing the two
-// closures the link used to allocate per packet.
-type delivery struct {
-	link *Link
-	seg  *packet.Segment
+// drainRec is one pending queue drain: at the reference scheme's event
+// (at, seq), size bytes leave the queue. Serialization completes in
+// acceptance order, so the drain ring is always FIFO-monotone.
+type drainRec struct {
+	at   time.Duration
+	seq  uint64
 	size int32
 }
 
-// Delivery phases, dispatched by RunTask.
-const (
-	opDrain int32 = iota
-	opDeliver
-)
-
-// RunTask implements sim.Task.
-func (d *delivery) RunTask(op int32) {
-	l := d.link
-	if op == opDrain {
-		l.queued -= int(d.size)
-		return
-	}
-	seg := d.seg
-	d.seg = nil
-	l.pool = append(l.pool, d) // drain fired first; safe to recycle
-	l.dst.Deliver(seg)
+// flightRec is one in-flight segment: deliverable to dst at the
+// reference scheme's event (at, seq).
+type flightRec struct {
+	at  time.Duration
+	seq uint64
+	seg *packet.Segment
 }
 
-func (l *Link) newDelivery(seg *packet.Segment, size int) *delivery {
-	if n := len(l.pool); n > 0 {
-		d := l.pool[n-1]
-		l.pool = l.pool[:n-1]
-		d.seg = seg
-		d.size = int32(size)
-		return d
+// settleDrains applies every drain whose reference event (at, seq)
+// orders before the scheduler's current execution point, bringing
+// queued up to exactly the value the per-event scheme would show here.
+func (l *Link) settleDrains() {
+	if l.drains.n == 0 {
+		return
 	}
-	return &delivery{link: l, seg: seg, size: int32(size)}
+	now, cur := l.sch.Now(), l.sch.EventSeq()
+	for l.drains.n > 0 {
+		d := l.drains.front()
+		if d.at < now || (d.at == now && d.seq < cur) {
+			l.queued -= int(d.size)
+			l.drains.popFront()
+			continue
+		}
+		break
+	}
+}
+
+// RunTask implements sim.Task: the pump timer fired. Stale arms
+// (superseded when an earlier arrival re-armed the pump) are ignored by
+// generation.
+func (l *Link) RunTask(op int32) {
+	if op != l.armGen {
+		return
+	}
+	l.armed = false
+	l.pump()
+}
+
+// pump retires every head record whose delivery point has been reached,
+// yielding whenever another pending event orders before the head's
+// reserved (at, seq) so cross-link interleaving stays exact, then
+// re-arms for the next edge.
+func (l *Link) pump() {
+	now := l.sch.Now()
+	for l.flights.n > 0 {
+		f := l.flights.front()
+		if f.at > now || l.sch.PendingBefore(f.at, f.seq) {
+			break
+		}
+		l.sch.AdoptSeq(f.seq)
+		seg := f.seg
+		f.seg = nil
+		l.flights.popFront()
+		l.dst.Deliver(seg)
+		if l.armed {
+			// A reentrant Send routed back into this link and re-armed
+			// the pump; that timer now owns the remaining records.
+			return
+		}
+	}
+	l.arm()
+}
+
+// arm schedules the pump timer at the head record's reserved (at, seq),
+// superseding any stale outstanding timer.
+func (l *Link) arm() {
+	if l.armed || l.flights.n == 0 {
+		return
+	}
+	f := l.flights.front()
+	l.armGen++
+	l.sch.AtTaskSeq(f.at, f.seq, l, l.armGen)
+	l.armed = true
+	l.armSeq = f.seq
+}
+
+// addFlight inserts a new in-flight record. Arrivals are FIFO-monotone
+// unless SetDelay shrank the propagation delay mid-flight; the
+// non-monotone case falls back to a sorted insert (ties go after
+// existing records, which carry smaller seqs). If the new record
+// becomes the head, the pump re-arms for the earlier edge.
+func (l *Link) addFlight(f flightRec) {
+	if l.flights.n == 0 || !(f.at < l.flights.back().at) {
+		l.flights.pushBack(f)
+	} else {
+		lo, hi := 0, l.flights.n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if l.flights.at(mid).at <= f.at {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		l.flights.insert(lo, f)
+	}
+	if head := l.flights.front(); !l.armed || head.seq != l.armSeq {
+		l.armed = false
+		l.arm()
+	}
 }
 
 // NewLink builds a link delivering to dst.
@@ -224,7 +309,10 @@ func (l *Link) SetBlocked(blocked bool) { l.blocked = blocked }
 func (l *Link) Blocked() bool { return l.blocked }
 
 // QueueDepth returns the bytes currently enqueued or in serialization.
-func (l *Link) QueueDepth() int { return l.queued }
+func (l *Link) QueueDepth() int {
+	l.settleDrains()
+	return l.queued
+}
 
 // Send enqueues a segment. Loss and queue overflow silently drop it,
 // as a real network would.
@@ -239,6 +327,7 @@ func (l *Link) Send(seg *packet.Segment) {
 		l.Dropped++
 		return
 	}
+	l.settleDrains()
 	if l.queueCap > 0 && l.queued+size > l.queueCap {
 		l.Dropped++
 		return
@@ -256,12 +345,13 @@ func (l *Link) Send(seg *packet.Segment) {
 	done := start + l.rate.TxTime(size)
 	l.busyUntil = done
 	arrive := done + l.delay
-	// Two heap entries, consecutive sequence numbers (drain before
-	// deliver at equal timestamps), one pooled event object: exactly
-	// the firing order of the original two-closure version.
-	d := l.newDelivery(seg, size)
-	l.sch.AtTask(done, d, opDrain)
-	l.sch.AtTask(arrive, d, opDeliver)
+	// Reserve the two consecutive sequence numbers the per-event scheme
+	// would have consumed (drain before deliver at equal timestamps);
+	// the drain settles lazily and the deliver rides the pump timer.
+	drainSeq := l.sch.ReserveSeq()
+	deliverSeq := l.sch.ReserveSeq()
+	l.drains.pushBack(drainRec{at: done, seq: drainSeq, size: int32(size)})
+	l.addFlight(flightRec{at: arrive, seq: deliverSeq, seg: seg})
 }
 
 // Deliver implements Receiver by forwarding to Send, so links chain

@@ -20,6 +20,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"time"
 )
 
@@ -92,11 +93,20 @@ func (t Timer) Active() bool {
 type Scheduler struct {
 	now     time.Duration
 	seq     uint64
+	cur     uint64 // seq of the executing event; == seq when idle
 	heap    []event
 	slots   []timerSlot
 	free    []int32
 	rng     *rand.Rand
 	stopped bool
+
+	// Same-timestamp batch dispatch state (see runFrontier): batch holds
+	// the events popped for the current timestamp in seq order, batchPos
+	// the next one to run, scratch the reusable index buffer popBatch
+	// collects the equal-time heap subtree into.
+	batch    []event
+	batchPos int
+	scratch  []int32
 
 	// Hierarchical timer wheel (see wheel.go). The heap above holds the
 	// imminent frontier plus far-future overflow; mid-range events park
@@ -123,8 +133,15 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
 func (s *Scheduler) schedule(t time.Duration, fn func(), task Task, op int32, slot int32) {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	s.placeAt(event{at: t, seq: s.seq, fn: fn, task: task, op: op, slot: slot})
+	s.seq++
+}
+
+// placeAt routes a fully formed event (timestamp and sequence number
+// already assigned) into the wheel or heap.
+func (s *Scheduler) placeAt(ev event) {
+	if ev.at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", ev.at, s.now))
 	}
 	if s.wcount == 0 {
 		// An empty wheel can advance for free; keeping the cursor at the
@@ -133,9 +150,81 @@ func (s *Scheduler) schedule(t time.Duration, fn func(), task Task, op int32, sl
 			s.wcursor = nowTick
 		}
 	}
-	s.place(event{at: t, seq: s.seq, fn: fn, task: task, op: op, slot: slot})
-	s.seq++
+	s.place(ev)
 }
+
+// ---- Event elision (drain pumps) ----
+//
+// A hot path that would schedule one event per packet can instead keep
+// its pending work in its own FIFO and arm a single timer for the
+// earliest entry (netem.Link is the canonical user). To keep the global
+// firing order bit-identical to the one-event-per-packet scheme, the
+// pump reserves a sequence number per elided event at the moment the
+// reference scheme would have scheduled it (ReserveSeq), arms its timer
+// with the earliest entry's reserved number (AtTaskSeq), and before
+// retiring each entry asks whether any real pending event orders before
+// it (PendingBefore) — if one does, the pump re-arms and yields.
+// AdoptSeq makes the retired entry the "current" event so that lazy
+// state settled against EventSeq (e.g. link queue occupancy) observes
+// exactly the state the reference scheme would have produced.
+
+// ReserveSeq consumes and returns the next event sequence number
+// without scheduling anything. Elided events must reserve their numbers
+// exactly where the non-elided scheme would have scheduled them.
+func (s *Scheduler) ReserveSeq() uint64 {
+	seq := s.seq
+	s.seq++
+	return seq
+}
+
+// AtTaskSeq schedules task.RunTask(op) at absolute time t with a
+// previously reserved sequence number, so the event fires exactly where
+// the reservation point falls in the global (time, insertion) order.
+// Events for the current instant bypass the wheel: in-flight batch
+// dispatch consults only the heap for same-timestamp ordering.
+func (s *Scheduler) AtTaskSeq(t time.Duration, seq uint64, task Task, op int32) {
+	ev := event{at: t, seq: seq, task: task, op: op, slot: noSlot}
+	if t == s.now {
+		s.push(ev)
+		return
+	}
+	s.placeAt(ev)
+}
+
+// PendingBefore reports whether any live pending event orders strictly
+// before (t, seq). Cancelled timers encountered at the frontier are
+// discarded, exactly as the dispatch loop would discard them.
+func (s *Scheduler) PendingBefore(t time.Duration, seq uint64) bool {
+	for s.batchPos < len(s.batch) {
+		e := &s.batch[s.batchPos]
+		if e.slot != noSlot && s.slots[e.slot].stopped {
+			s.freeSlot(e.slot)
+			s.batch[s.batchPos] = event{}
+			s.batchPos++
+			continue
+		}
+		if e.at < t || (e.at == t && e.seq < seq) {
+			return true
+		}
+		break
+	}
+	if at, ok := s.heapTopLive(); ok {
+		if at < t || (at == t && s.heap[0].seq < seq) {
+			return true
+		}
+	}
+	return false
+}
+
+// AdoptSeq marks a reserved sequence number as the currently executing
+// event. Pumps call it per retired entry so EventSeq-based lazy
+// settling sees the reference scheme's exact execution point.
+func (s *Scheduler) AdoptSeq(seq uint64) { s.cur = seq }
+
+// EventSeq returns the sequence number of the event being executed, or
+// the next number to be assigned when the loop is idle — the bound
+// below which every scheduled event has already fired.
+func (s *Scheduler) EventSeq() uint64 { return s.cur }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past panics: it is always a logic error in a discrete-event model.
@@ -257,10 +346,15 @@ func (s *Scheduler) pop() event {
 	return top
 }
 
-func (s *Scheduler) siftDown(ev event) {
+func (s *Scheduler) siftDown(ev event) { s.siftDownFrom(0, ev) }
+
+// siftDownFrom sifts ev down from heap index i. The subtree rooted at
+// i must satisfy the heap property; ev's relation to i's ancestors is
+// the caller's responsibility (popBatch only ever fills a hole with an
+// element strictly greater than the hole's surviving parent).
+func (s *Scheduler) siftDownFrom(i int, ev event) {
 	h := s.heap
 	n := len(h)
-	i := 0
 	for {
 		first := 4*i + 1
 		if first >= n {
@@ -298,18 +392,25 @@ func (s *Scheduler) Step() bool {
 		s.freeSlot(ev.slot)
 	}
 	s.now = ev.at
+	s.exec(ev)
+	s.cur = s.seq
+	return true
+}
+
+// exec runs one event with its seq exposed through EventSeq.
+func (s *Scheduler) exec(ev event) {
+	s.cur = ev.seq
 	if ev.fn != nil {
 		ev.fn()
 	} else {
 		ev.task.RunTask(ev.op)
 	}
-	return true
 }
 
 // Run processes events until none remain or Stop is called.
 func (s *Scheduler) Run() {
 	s.stopped = false
-	for !s.stopped && s.Step() {
+	for !s.stopped && s.runFrontier(0, false) {
 	}
 }
 
@@ -318,16 +419,122 @@ func (s *Scheduler) Run() {
 // pending.
 func (s *Scheduler) RunUntil(deadline time.Duration) {
 	s.stopped = false
-	for !s.stopped {
-		next, ok := s.peek()
-		if !ok || next > deadline {
-			break
-		}
-		s.Step()
+	for !s.stopped && s.runFrontier(deadline, true) {
 	}
 	if s.now < deadline {
 		s.now = deadline
 	}
+}
+
+// runFrontier advances the clock to the earliest pending timestamp and
+// runs every event scheduled for that instant in one settle: the
+// equal-time heap prefix is popped as a batch (popBatch) instead of
+// re-sifting the whole heap per event. Handlers that schedule more work
+// for the same instant are accommodated — fresh events carry larger
+// seqs and are drained by the re-settle loop, while borrowed-seq pump
+// arms (AtTaskSeq pushes them straight to the heap when t == now) are
+// interleaved into the batch remainder by peeking the heap top between
+// events. Reports whether any timestamp was processed; with bounded
+// set, timestamps past deadline are left pending.
+func (s *Scheduler) runFrontier(deadline time.Duration, bounded bool) bool {
+	t, ok := s.nextReady()
+	if !ok || (bounded && t > deadline) {
+		return false
+	}
+	s.now = t
+	for {
+		s.popBatch(t)
+		for s.batchPos < len(s.batch) {
+			if s.stopped {
+				// Requeue the remainder so a later Run resumes exactly
+				// where this one was aborted.
+				for _, ev := range s.batch[s.batchPos:] {
+					s.push(ev)
+				}
+				s.resetBatch()
+				s.cur = s.seq
+				return true
+			}
+			if at, live := s.heapTopLive(); live && at == t && s.heap[0].seq < s.batch[s.batchPos].seq {
+				ev := s.pop()
+				if ev.slot != noSlot {
+					s.freeSlot(ev.slot)
+				}
+				s.exec(ev)
+				continue
+			}
+			ev := s.batch[s.batchPos]
+			s.batch[s.batchPos] = event{}
+			s.batchPos++
+			if ev.slot != noSlot {
+				if s.slots[ev.slot].stopped {
+					s.freeSlot(ev.slot)
+					continue
+				}
+				s.freeSlot(ev.slot)
+			}
+			s.exec(ev)
+		}
+		s.resetBatch()
+		next, more := s.nextReady()
+		if !more || next != t {
+			break
+		}
+	}
+	s.cur = s.seq
+	return true
+}
+
+// resetBatch clears the batch buffer for reuse, releasing fn/task
+// references held by unconsumed entries.
+func (s *Scheduler) resetBatch() {
+	for i := s.batchPos; i < len(s.batch); i++ {
+		s.batch[i] = event{}
+	}
+	s.batch = s.batch[:0]
+	s.batchPos = 0
+}
+
+// popBatch moves every heap entry with timestamp t into s.batch,
+// ordered by seq. The equal-time entries form an up-closed subtree
+// containing the root (t is the heap minimum, so every ancestor of a
+// t-entry is a t-entry), which a breadth-first walk collects in
+// ascending index order; removing the holes in descending index order
+// then only ever fills a hole with a strictly-later event, so a
+// sift-down restores the heap without any sift-up.
+func (s *Scheduler) popBatch(t time.Duration) {
+	if len(s.heap) == 0 || s.heap[0].at != t {
+		return
+	}
+	s.scratch = s.scratch[:0]
+	s.scratch = append(s.scratch, 0)
+	for k := 0; k < len(s.scratch); k++ {
+		first := 4*int(s.scratch[k]) + 1
+		for c := first; c < first+4 && c < len(s.heap); c++ {
+			if s.heap[c].at == t {
+				s.scratch = append(s.scratch, int32(c))
+			}
+		}
+	}
+	for _, i := range s.scratch {
+		s.batch = append(s.batch, s.heap[i])
+	}
+	for k := len(s.scratch) - 1; k >= 0; k-- {
+		i := int(s.scratch[k])
+		n := len(s.heap) - 1
+		last := s.heap[n]
+		s.heap[n] = event{}
+		s.heap = s.heap[:n]
+		if i < n {
+			s.siftDownFrom(i, last)
+		}
+	}
+	slices.SortFunc(s.batch, func(a, b event) int {
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	})
 }
 
 // peek reports the timestamp of the earliest live event, discarding
@@ -339,11 +546,19 @@ func (s *Scheduler) peek() (time.Duration, bool) {
 // Stop aborts a Run or RunUntil in progress after the current event.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// Pending returns the number of live scheduled events.
+// Pending returns the number of live scheduled events, including the
+// unconsumed remainder of an in-flight same-timestamp batch.
 func (s *Scheduler) Pending() int {
 	n := s.wheelPending()
 	for i := range s.heap {
 		ev := &s.heap[i]
+		if ev.slot != noSlot && s.slots[ev.slot].stopped {
+			continue
+		}
+		n++
+	}
+	for i := s.batchPos; i < len(s.batch); i++ {
+		ev := &s.batch[i]
 		if ev.slot != noSlot && s.slots[ev.slot].stopped {
 			continue
 		}

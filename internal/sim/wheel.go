@@ -151,6 +151,13 @@ func (s *Scheduler) advance(tick int64) {
 				s.freeSlot(ev.slot)
 				continue
 			}
+			if level == 0 {
+				// A level-0 slot entered by the cursor holds only matured
+				// events: batch-pop the whole slot straight onto the heap
+				// instead of re-deriving the route per event.
+				s.push(ev)
+				continue
+			}
 			s.place(ev)
 		}
 	}
