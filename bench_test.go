@@ -23,6 +23,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/session"
+	"repro/internal/tcp"
 )
 
 // benchOpts is the paper-scale configuration: 180 s captures, a
@@ -58,6 +59,27 @@ func BenchmarkSingleSession(b *testing.B) {
 		})
 	}
 }
+
+// benchSingleSessionCC is BenchmarkSingleSession with the server's
+// congestion controller swapped — the per-CC hot-path cost. The CI
+// perf smoke compares these against BenchmarkSingleSession (Reno):
+// a controller is only mergeable if it does not regress allocs/op.
+func benchSingleSessionCC(b *testing.B, cc string) {
+	v := media.Video{ID: 99, EncodingRate: 1e6, Duration: 300 * time.Second, Container: media.Flash, Resolution: "360p"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		session.Run(session.Config{
+			Video: v, Service: session.YouTube,
+			Player:  player.NewFlashPlayer("Internet Explorer"),
+			Network: netem.Research, Seed: 7,
+			ServerTCP: tcp.Config{CC: cc},
+		})
+	}
+}
+
+func BenchmarkSingleSessionCubic(b *testing.B) { benchSingleSessionCC(b, tcp.CCCubic) }
+
+func BenchmarkSingleSessionBbr(b *testing.B) { benchSingleSessionCC(b, tcp.CCBbr) }
 
 // BenchmarkSingleSessionBuffered is the same session in
 // tcpdump-then-analyze mode: the full trace is retained (pinning every

@@ -62,6 +62,8 @@ func main() {
 	players := flag.Bool("players", false, "list player kind names and exit")
 	abrMode := flag.Bool("abr", false, "run the ABR headline comparison: fixed-top vs rate-based vs buffer-based controllers under a rate-drop timeline")
 	down := flag.String("down", "", `dynamics timeline for every aggregation downstream link, e.g. "rate@40s=24Mbps; outage@90s=5s" (with -abr, default drops to 24 Mbps at duration/3)`)
+	ccMix := flag.String("cc", "", "server congestion-control mix per client, e.g. cubic or reno:2+cubic:1+bbr:1 (empty = reno)")
+	aqm := flag.String("aqm", "", "queue policy on aggregation+access downstream links: droptail, red or codel (empty = droptail)")
 	distributed := flag.Int("distributed", 0, "fork the run across N OS processes (merged result is bit-identical to -distributed 0)")
 	cellRange := flag.String("cells", "", "child mode: run cells lo:hi and stream serialized per-cell results to stdout")
 	resultOut := flag.String("result-out", "", "write the serialized FleetResult to this file (bit-identical across -workers/-shards/-distributed)")
@@ -117,6 +119,20 @@ func main() {
 	f.Tree.Access.Down = netem.Bandwidth(*accessDown) * netem.Mbps
 	f.Tree.Agg.Down = netem.Bandwidth(*aggDown) * netem.Mbps
 	f.Tree.Core.Down = netem.Bandwidth(*coreDown) * netem.Mbps
+	if *ccMix != "" {
+		f.CCMix, err = scenario.ParseCCMix(*ccMix)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *aqm != "" {
+		a, err := netem.ParseAqm(*aqm)
+		if err != nil {
+			fatal(err)
+		}
+		f.Tree.Agg.AQM = a
+		f.Tree.Access.AQM = a
+	}
 	if err := f.Validate(); err != nil {
 		fatal(err)
 	}
@@ -186,7 +202,7 @@ func main() {
 	start := time.Now()
 	var res *scenario.FleetResult
 	if *distributed > 0 {
-		res, err = runDistributed(f, *distributed, *workers, *mix, *down)
+		res, err = runDistributed(f, *distributed, *workers, *mix, *down, *ccMix, *aqm)
 		if err != nil {
 			fatal(err)
 		}
@@ -230,7 +246,7 @@ func parseRange(s string) (lo, hi int, err error) {
 // locally folded partials — so the parent performs the one global left
 // fold in cell order and the merged result is bit-identical to a
 // single-process run.
-func runDistributed(f scenario.Fleet, n, workers int, mix, down string) (*scenario.FleetResult, error) {
+func runDistributed(f scenario.Fleet, n, workers int, mix, down, ccMix, aqm string) (*scenario.FleetResult, error) {
 	cells := f.Cells()
 	if n > cells {
 		n = cells
@@ -258,6 +274,12 @@ func runDistributed(f scenario.Fleet, n, workers int, mix, down string) (*scenar
 	}
 	if down != "" {
 		base = append(base, "-down", down)
+	}
+	if ccMix != "" {
+		base = append(base, "-cc", ccMix)
+	}
+	if aqm != "" {
+		base = append(base, "-aqm", aqm)
 	}
 
 	type child struct {

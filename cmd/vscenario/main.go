@@ -30,6 +30,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/session"
+	"repro/internal/tcp"
 )
 
 // presets are the canned experiment sweeps (artifact output, same
@@ -58,6 +59,8 @@ func main() {
 		n       = flag.Int("n", 8, "preset scale (videos/sessions per cell)")
 		shared  = flag.Bool("shared", false, "run all sessions on one shared bottleneck (dumbbell)")
 		workers = flag.Int("workers", 0, "worker pool size for isolated runs (0 = one per CPU)")
+		cc      = flag.String("cc", "", "server congestion control: reno|cubic|bbr (empty = reno)")
+		aqm     = flag.String("aqm", "", "queue policy on the path links: droptail|red|codel (empty = droptail)")
 	)
 	flag.Parse()
 
@@ -107,6 +110,14 @@ func main() {
 	if err != nil {
 		fail("-up: %v", err)
 	}
+	if !tcp.ValidCC(*cc) {
+		fail("-cc: unknown congestion control %q (%s)", *cc, strings.Join(tcp.CCKinds(), "|"))
+	}
+	if aq, err := netem.ParseAqm(*aqm); err != nil {
+		fail("-aqm: %v", err)
+	} else {
+		prof.AQM = aq
+	}
 	sp := scenario.Spec{
 		Profile:  prof,
 		Player:   kind,
@@ -117,6 +128,7 @@ func main() {
 		Down:     down,
 		Up:       up,
 	}
+	sp.ServerTCP.CC = *cc
 	if err := sp.Validate(); err != nil {
 		fail("%v", err)
 	}

@@ -58,6 +58,9 @@ var registry = map[string]runner{
 	"abr-ratedrop": func(o experiments.Options) string {
 		return experiments.AbrRateDrop(o).Artifact.String()
 	},
+	"ccmatrix": func(o experiments.Options) string {
+		return experiments.CcMatrix(o).Artifact.String()
+	},
 }
 
 // order fixes the presentation sequence for -exp all.
@@ -66,7 +69,7 @@ var order = []string{
 	"fig8", "fig9", "fig9-idlereset", "fig10", "fig11", "fig12",
 	"table2", "model-agg", "model-smooth", "model-interrupt", "model-waste",
 	"scenario-ratedrop", "scenario-flashcrowd", "fleet-burstiness",
-	"abr-ratedrop",
+	"abr-ratedrop", "ccmatrix",
 }
 
 func main() {

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/tcp"
+)
+
+// TestCcMatrixTransportSensitivity pins the matrix's headline claim —
+// the ON-OFF classification is transport-sensitive — qualitatively,
+// not just byte-for-byte: the paper's reference corner (Reno behind a
+// drop-tail queue) and the modern corner (CUBIC behind CoDel) must
+// land in different classification mixes, and the drop accounting
+// must attribute policy drops only where a policy runs.
+func TestCcMatrixTransportSensitivity(t *testing.T) {
+	r := CcMatrix(Options{N: 1, Seed: 1, Duration: 120 * time.Second})
+	if len(r.Rows) != len(tcp.CCKinds())*len(netem.AqmKinds()) {
+		t.Fatalf("matrix has %d rows, want %d", len(r.Rows), len(tcp.CCKinds())*len(netem.AqmKinds()))
+	}
+	for _, cc := range tcp.CCKinds() {
+		for _, aqm := range netem.AqmKinds() {
+			cell := r.Cell(cc, aqm)
+			if cell == nil {
+				t.Fatalf("missing cell %s/%s", cc, aqm)
+			}
+			if cell.Mix == "none" {
+				t.Fatalf("cell %s/%s classified nothing", cc, aqm)
+			}
+			if cell.AggregateMbps <= 0 {
+				t.Fatalf("cell %s/%s streamed nothing", cc, aqm)
+			}
+			if aqm == netem.AqmDropTail && cell.AqmShare != 0 {
+				t.Fatalf("drop-tail cell %s/%s has AQM-attributed drops (share %.2f)", cc, aqm, cell.AqmShare)
+			}
+			if cell.AqmShare < 0 || cell.AqmShare > 1 {
+				t.Fatalf("cell %s/%s AqmShare %.2f outside [0,1]", cc, aqm, cell.AqmShare)
+			}
+		}
+	}
+	// The qualitative shift: swapping Reno/drop-tail for CUBIC/CoDel
+	// moves the classified mix — the strained bottleneck's wire pattern
+	// is not a property of the player alone.
+	renoDT := r.Cell(tcp.CCReno, netem.AqmDropTail)
+	cubicCD := r.Cell(tcp.CCCubic, netem.AqmCoDel)
+	if renoDT.Mix == cubicCD.Mix {
+		t.Fatalf("reno/droptail and cubic/codel classify identically (%q): the matrix shows no transport sensitivity", renoDT.Mix)
+	}
+	// CoDel must actually engage somewhere in the matrix, and under
+	// loss-based controllers its early shedding accounts for the drops.
+	if renoCD := r.Cell(tcp.CCReno, netem.AqmCoDel); renoCD.AqmShare == 0 {
+		t.Fatal("CoDel never dropped under reno on a strained bottleneck")
+	}
+}

@@ -43,6 +43,9 @@ func TestGoldenArtifacts(t *testing.T) {
 		{"abr-ratedrop_n1_120s", func() string {
 			return AbrRateDrop(Options{N: 1, Seed: 1, Duration: 120 * time.Second}).Artifact.String()
 		}},
+		{"ccmatrix_n1_120s", func() string {
+			return CcMatrix(Options{N: 1, Seed: 1, Duration: 120 * time.Second}).Artifact.String()
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -44,6 +44,9 @@ type Step struct {
 	SetLoss bool
 	Loss    LossModel
 
+	SetAqm bool
+	Aqm    AqmConfig
+
 	Outage time.Duration
 }
 
@@ -81,6 +84,13 @@ func LossModelStep(t time.Duration, m LossModel) Step {
 	return Step{At: t, SetLoss: true, Loss: m}
 }
 
+// AqmStep returns a step switching the link's queue policy at t (a
+// fresh policy instance is built for the link when the step fires;
+// AqmConfig{} restores drop-tail).
+func AqmStep(t time.Duration, a AqmConfig) Step {
+	return Step{At: t, SetAqm: true, Aqm: a}
+}
+
 // OutageStep returns a step blocking the link over [t, t+d).
 func OutageStep(t, d time.Duration) Step {
 	return Step{At: t, Outage: d}
@@ -112,6 +122,11 @@ func (d Dynamics) Validate() error {
 		}
 		if st.SetDelay && st.Delay < 0 {
 			return fmt.Errorf("dynamics step %d: negative delay", i)
+		}
+		if st.SetAqm {
+			if err := st.Aqm.Validate(); err != nil {
+				return fmt.Errorf("dynamics step %d: %v", i, err)
+			}
 		}
 	}
 	return nil
@@ -157,6 +172,9 @@ func (ap *applier) applyStep(sch *sim.Scheduler, l *Link, st Step) {
 	}
 	if st.SetLoss {
 		l.SetLoss(st.Loss)
+	}
+	if st.SetAqm {
+		l.SetAQM(st.Aqm.New(l.QueueCap()))
 	}
 	if !st.SetRate {
 		return

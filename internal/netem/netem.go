@@ -126,6 +126,7 @@ type Link struct {
 	queued    int // bytes accepted minus settled drains
 	busyUntil time.Duration
 	loss      LossModel
+	aqm       AQM // nil = drop-tail
 	blocked   bool
 	dst       Receiver
 	taps      []Tap
@@ -143,6 +144,9 @@ type Link struct {
 	// OutageDrops counts packets dropped because the link was blocked
 	// by an outage (a subset of Dropped).
 	OutageDrops int
+	// AqmDrops counts packets the AQM policy dropped before the hard
+	// queue cap would have (a subset of Dropped).
+	AqmDrops int
 }
 
 // drainRec is one pending queue drain: at the reference scheme's event
@@ -279,6 +283,16 @@ func (l *Link) SetLoss(m LossModel) {
 // Loss returns the current loss model.
 func (l *Link) Loss() LossModel { return l.loss }
 
+// SetAQM installs (or, with nil, removes) the queue policy. The
+// instance must be private to this link — policies are stateful.
+func (l *Link) SetAQM(a AQM) { l.aqm = a }
+
+// AQM returns the current queue policy (nil = drop-tail).
+func (l *Link) AQM() AQM { return l.aqm }
+
+// QueueCap returns the hard queue capacity in bytes (0 = uncapped).
+func (l *Link) QueueCap() int { return l.queueCap }
+
 // Rate returns the current link rate.
 func (l *Link) Rate() Bandwidth { return l.rate }
 
@@ -332,17 +346,28 @@ func (l *Link) Send(seg *packet.Segment) {
 		l.Dropped++
 		return
 	}
+	now := l.sch.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	done := start + l.rate.TxTime(size)
+	if l.aqm != nil {
+		// The packet's exact queueing delay (wait + serialization) is
+		// known at enqueue on a work-conserving FIFO; sojourn-based
+		// policies use it directly, no dequeue event needed.
+		if !l.aqm.Admit(now, l.queued, size, done-now, l.sch.Rand()) {
+			l.Dropped++
+			l.AqmDrops++
+			return
+		}
+	}
 	for _, t := range l.taps {
-		t.Capture(l.sch.Now(), seg)
+		t.Capture(now, seg)
 	}
 	l.queued += size
 	l.Sent++
 	l.Bytes += int64(size)
-	start := l.busyUntil
-	if now := l.sch.Now(); start < now {
-		start = now
-	}
-	done := start + l.rate.TxTime(size)
 	l.busyUntil = done
 	arrive := done + l.delay
 	// Reserve the two consecutive sequence numbers the per-event scheme
@@ -391,6 +416,10 @@ type Profile struct {
 	// artefact in the paper — and a negative value disables upstream
 	// loss entirely, so scenario specs can model asymmetric paths.
 	UpLoss float64
+	// AQM selects the queue policy on both directions' links (the
+	// zero value keeps drop-tail). It only bites where a queue
+	// actually builds, so ACK-direction policies are harmless.
+	AQM AqmConfig
 }
 
 // UpLossRate resolves the effective upstream loss rate.
@@ -437,8 +466,11 @@ func ProfileByName(name string) (Profile, bool) {
 // upstream, since ACK loss was not a reported artefact.
 func NewPath(sch *sim.Scheduler, p Profile, client, server Receiver) *Path {
 	half := p.RTT / 2
-	return &Path{
+	path := &Path{
 		Down: NewLink(sch, p.Down, half, p.Queue, RandomLoss{Rate: p.Loss}, client),
 		Up:   NewLink(sch, p.Up, half, p.Queue, RandomLoss{Rate: p.UpLossRate()}, server),
 	}
+	path.Down.SetAQM(p.AQM.New(p.Queue))
+	path.Up.SetAQM(p.AQM.New(p.Queue))
+	return path
 }

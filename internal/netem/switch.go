@@ -49,11 +49,14 @@ type Dumbbell struct {
 func NewDumbbell(sch *sim.Scheduler, p Profile, server Receiver) *Dumbbell {
 	sw := NewSwitch()
 	half := p.RTT / 2
-	return &Dumbbell{
+	d := &Dumbbell{
 		sw:   sw,
 		Down: NewLink(sch, p.Down, half, p.Queue, RandomLoss{Rate: p.Loss}, sw),
 		Up:   NewLink(sch, p.Up, half, p.Queue, RandomLoss{Rate: p.UpLossRate()}, server),
 	}
+	d.Down.SetAQM(p.AQM.New(p.Queue))
+	d.Up.SetAQM(p.AQM.New(p.Queue))
+	return d
 }
 
 // Attach registers a client receiver for its address and returns the

@@ -17,6 +17,9 @@ type Tier struct {
 	Delay    time.Duration // one-way propagation per direction
 	Queue    int           // bytes of buffering per link per direction
 	Loss     float64       // downstream random loss per link
+	// AQM selects the queue policy on this tier's downstream links
+	// (the data direction, where queues build). Zero = drop-tail.
+	AQM AqmConfig
 }
 
 // TreeConfig sizes a Tree. The zero value yields a plausible ISP-ish
@@ -116,6 +119,7 @@ func NewTree(sch *sim.Scheduler, cfg TreeConfig, server Receiver) *Tree {
 	cfg = cfg.WithDefaults()
 	t := &Tree{cfg: cfg, sch: sch, coreSW: NewSwitch()}
 	t.CoreDown = NewLink(sch, cfg.Core.Down, cfg.Core.Delay, cfg.Core.Queue, RandomLoss{Rate: cfg.Core.Loss}, t.coreSW)
+	t.CoreDown.SetAQM(cfg.Core.AQM.New(cfg.Core.Queue))
 	t.CoreUp = NewLink(sch, cfg.Core.Up, cfg.Core.Delay, cfg.Core.Queue, nil, server)
 	return t
 }
@@ -142,12 +146,14 @@ func (t *Tree) Attach(addr [4]byte, client Receiver) *Link {
 	if g == len(t.AggDown) {
 		gsw := NewSwitch()
 		aggDown := NewLink(t.sch, t.cfg.Agg.Down, t.cfg.Agg.Delay, t.cfg.Agg.Queue, RandomLoss{Rate: t.cfg.Agg.Loss}, gsw)
+		aggDown.SetAQM(t.cfg.Agg.AQM.New(t.cfg.Agg.Queue))
 		aggUp := NewLink(t.sch, t.cfg.Agg.Up, t.cfg.Agg.Delay, t.cfg.Agg.Queue, nil, t.CoreUp)
 		t.groupSW = append(t.groupSW, gsw)
 		t.AggDown = append(t.AggDown, aggDown)
 		t.AggUp = append(t.AggUp, aggUp)
 	}
 	accessDown := NewLink(t.sch, t.cfg.Access.Down, t.cfg.Access.Delay, t.cfg.Access.Queue, RandomLoss{Rate: t.cfg.Access.Loss}, client)
+	accessDown.SetAQM(t.cfg.Access.AQM.New(t.cfg.Access.Queue))
 	accessUp := NewLink(t.sch, t.cfg.Access.Up, t.cfg.Access.Delay, t.cfg.Access.Queue, nil, t.AggUp[g])
 	t.AccessDown = append(t.AccessDown, accessDown)
 	t.AccessUp = append(t.AccessUp, accessUp)
@@ -175,6 +181,20 @@ func (t *Tree) DroppedAtTier() (core, agg, access int) {
 	}
 	for _, l := range t.AccessDown {
 		access += l.Dropped
+	}
+	return core, agg, access
+}
+
+// AqmDroppedAtTier sums the AQM-attributed drops per tier (downstream
+// direction) — the OutageDrops-style breakdown of DroppedAtTier that
+// separates policy drops from loss-model and hard-cap drops.
+func (t *Tree) AqmDroppedAtTier() (core, agg, access int) {
+	core = t.CoreDown.AqmDrops
+	for _, l := range t.AggDown {
+		agg += l.AqmDrops
+	}
+	for _, l := range t.AccessDown {
+		access += l.AqmDrops
 	}
 	return core, agg, access
 }

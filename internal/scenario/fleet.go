@@ -40,7 +40,15 @@ type Fleet struct {
 	// client count. Empty means 100% Flash. All entries must talk to
 	// one service (YouTube and Netflix players cannot share a server
 	// port).
-	Mix     []MixEntry
+	Mix []MixEntry
+	// CCMix assigns server-side congestion controllers per client:
+	// global client i is served with CCMix[i % len(CCMix)] (tcp.CCReno
+	// etc.; parse textual specs with ParseCCMix). Like Mix, the
+	// assignment depends only on the global client index, never on
+	// sharding, so mixed-CC results stay bit-identical across any
+	// worker/shard/process split. Empty keeps ServerTCP.CC for
+	// everyone.
+	CCMix   []string
 	Clients int // total sessions; default 64
 	// Tree shapes the topology; zero fields take netem defaults
 	// (6/1 Mbps access, 32 clients per 200 Mbps aggregation link,
@@ -203,7 +211,49 @@ func (f Fleet) Validate() error {
 	if err := f.Down.Validate(); err != nil {
 		return fmt.Errorf("fleet %q down: %w", f.Name, err)
 	}
+	for _, cc := range f.CCMix {
+		if !tcp.ValidCC(cc) {
+			return fmt.Errorf("fleet %q: unknown congestion control %q", f.Name, cc)
+		}
+	}
+	if !tcp.ValidCC(f.ServerTCP.CC) {
+		return fmt.Errorf("fleet %q: unknown congestion control %q", f.Name, f.ServerTCP.CC)
+	}
 	return nil
+}
+
+// ParseCCMix parses a congestion-controller mix: names joined by '+'
+// or ',', each with an optional ":weight" ("cubic", "reno:2+cubic:1").
+// The result is the expanded per-client cycle for Fleet.CCMix.
+func ParseCCMix(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.FieldsFunc(s, func(r rune) bool { return r == '+' || r == ',' }) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weight := part, 1
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			name = strings.TrimSpace(part[:i])
+			w, err := strconv.Atoi(strings.TrimSpace(part[i+1:]))
+			if err != nil || w <= 0 || w > 1024 {
+				return nil, fmt.Errorf("cc mix %q: bad weight in %q", s, part)
+			}
+			weight = w
+		}
+		name = strings.ToLower(name)
+		if name == "" || !tcp.ValidCC(name) {
+			return nil, fmt.Errorf("cc mix %q: unknown congestion control %q (%s)",
+				s, name, strings.Join(tcp.CCKinds(), "|"))
+		}
+		for k := 0; k < weight; k++ {
+			out = append(out, name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cc mix %q: no entries", s)
+	}
+	return out, nil
 }
 
 // maxFleetClients is the capacity of the 10.0.0.0/8 client address
@@ -596,6 +646,16 @@ func runFleetCell(f Fleet, from, to int) *FleetResult {
 		service.NewYouTube(server, f.ServerTCP, vids)
 	case session.Netflix:
 		service.NewNetflix(server, f.ServerTCP, vids)
+	}
+	if len(f.CCMix) > 0 {
+		// Per-client server-side congestion control: the peer address
+		// encodes the global client index, so the assignment is the
+		// same no matter which cell, worker or process serves it.
+		ccmix := f.CCMix
+		server.SetAcceptConfig(func(peer packet.Endpoint, cfg tcp.Config) tcp.Config {
+			cfg.CC = ccmix[clientIndex(peer.Addr)%len(ccmix)]
+			return cfg
+		})
 	}
 
 	tree.CoreDown.AddTap(utilTap{bins: []*stats.Binned{res.CoreUtil}})

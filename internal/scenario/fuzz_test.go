@@ -34,6 +34,13 @@ func FuzzParseDynamics(f *testing.F) {
 		"rate@+10s=2Mbps",
 		"loss@45s=NaN",
 		"rate@30s=\x002Mbps",
+		"aqm@30s=codel",
+		"aqm@0s=red",
+		"aqm@1s=droptail",
+		"aqm@1s=RED",
+		"aqm@1s=bogus",
+		"aqm@1s=",
+		"aqm@2m=codel; rate@3m=1Mbps",
 	} {
 		f.Add(seed)
 	}

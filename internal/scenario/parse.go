@@ -18,6 +18,7 @@ import (
 //	delay@60s=200ms       step the propagation delay
 //	loss@45s=0.02         step to independent random loss
 //	outage@90s=5s         block the link over [90s, 95s)
+//	aqm@60s=codel         switch the queue policy (droptail|red|codel)
 //
 // This is the cmd/vscenario spec syntax; scenario code composes
 // netem.Dynamics values directly.
@@ -86,8 +87,14 @@ func ParseDynamics(spec string) (netem.Dynamics, error) {
 				return d, fmt.Errorf("dynamics event %q: bad outage duration", ev)
 			}
 			d = d.Then(netem.OutageStep(at, dur))
+		case "aqm":
+			a, err := netem.ParseAqm(strings.ToLower(value))
+			if err != nil {
+				return d, fmt.Errorf("dynamics event %q: %v", ev, err)
+			}
+			d = d.Then(netem.AqmStep(at, a))
 		default:
-			return d, fmt.Errorf("dynamics event %q: unknown kind %q (rate|delay|loss|outage)", ev, kind)
+			return d, fmt.Errorf("dynamics event %q: unknown kind %q (rate|delay|loss|outage|aqm)", ev, kind)
 		}
 	}
 	if err := d.Validate(); err != nil {

@@ -191,7 +191,10 @@ type SharedResult struct {
 	Dropped     int
 	InducedLoss float64
 	OutageDrops int
-	Unrouted    int
+	// AqmDrops is the subset of Dropped attributed to the profile's
+	// queue policy (RED/CoDel), zero under drop-tail.
+	AqmDrops int
+	Unrouted int
 	// AggregateMbps is the mean downstream rate over the horizon.
 	AggregateMbps float64
 }
@@ -222,6 +225,12 @@ func (t *dispatchTap) Capture(at time.Duration, seg *packet.Segment) {
 // clients, so group-aligned fleet runs keep their exact addresses.
 func clientAddr(i int) [4]byte {
 	return [4]byte{10, byte((i + 1) >> 16), byte((i + 1) >> 8), byte(i + 1)}
+}
+
+// clientIndex inverts clientAddr: the global client index behind an
+// address in the 10.0.0.0/8 plan.
+func clientIndex(addr [4]byte) int {
+	return int(addr[1])<<16 | int(addr[2])<<8 | int(addr[3]) - 1
 }
 
 // RunShared executes every session of the spec on one shared
@@ -316,6 +325,7 @@ func RunShared(s Spec) *SharedResult {
 	res.Offered = db.Down.Sent + db.Down.Dropped
 	res.Dropped = db.Down.Dropped
 	res.OutageDrops = db.Down.OutageDrops
+	res.AqmDrops = db.Down.AqmDrops
 	if res.Offered > 0 {
 		res.InducedLoss = float64(res.Dropped) / float64(res.Offered)
 	}

@@ -45,13 +45,9 @@ type Conn struct {
 	finAt   int64 // stream offset of FIN, -1 if not closing
 	finSent bool
 
-	// Congestion control.
-	cwnd       int
-	ssthresh   int
-	cwndAcc    int // byte accumulator for congestion avoidance
-	dupAcks    int
-	inRecovery bool
-	recoverPt  int64
+	// Congestion control. All window state lives in the controller;
+	// the Conn only queries Cwnd and fires the hooks.
+	cc         CongestionControl
 	lastSendAt time.Duration
 
 	// RTT estimation (RFC 6298). One outstanding sample (Karn).
@@ -103,15 +99,43 @@ func newConn(h *Host, cfg Config, local, peer packet.Endpoint) *Conn {
 		cfg:          cfg,
 		local:        local,
 		peer:         peer,
-		sndWnd:       cfg.MSS, // until the peer advertises
-		cwnd:         cfg.InitCwndSegs * cfg.MSS,
-		ssthresh:     1 << 30,
+		sndWnd:       cfg.MSS,     // until the peer advertises
 		rto:          time.Second, // RFC 6298 initial
 		rttSampleOff: -1,
 		finAt:        -1,
 		lastAdvW:     cfg.RecvBuf,
 	}
+	c.cc = newCongestionControl(cfg)
+	c.cc.Init(cfg, h.sch.Now())
 	return c
+}
+
+// Cwnd returns the controller's current congestion window in bytes.
+func (c *Conn) Cwnd() int { return c.cc.Cwnd() }
+
+// CC returns the connection's congestion controller.
+func (c *Conn) CC() CongestionControl { return c.cc }
+
+// SetCongestionControl replaces the congestion controller. It must be
+// called before any data flows (i.e. right after Dial or inside a
+// listener's accept callback); the controller is re-initialized for
+// this connection's configuration. Tests use it to inject reference
+// or instrumented controllers.
+func (c *Conn) SetCongestionControl(cc CongestionControl) {
+	cc.Init(c.cfg, c.host.sch.Now())
+	c.cc = cc
+}
+
+// ccEvent assembles the hook payload from current transport state.
+func (c *Conn) ccEvent(acked int, ackOff int64) AckEvent {
+	return AckEvent{
+		Now:    c.host.sch.Now(),
+		Acked:  acked,
+		AckOff: ackOff,
+		SndNxt: c.sndNxt,
+		Flight: int(c.sndNxt - c.sndUna),
+		SRTT:   c.srtt,
+	}
 }
 
 // ---- Application interface ----
@@ -459,20 +483,10 @@ func (c *Conn) processAck(seg *packet.Segment) {
 			c.sampleRTT(c.host.sch.Now() - c.rttSampleAt)
 			c.rttSampleOff = -1
 		}
-		if c.inRecovery {
-			if ackOff >= c.recoverPt {
-				// Full ack: leave recovery, deflate.
-				c.inRecovery = false
-				c.cwnd = c.ssthresh
-				c.dupAcks = 0
-			} else {
-				// Partial ack: retransmit the next hole (NewReno).
-				c.retransmitOne()
-				c.cwnd = maxInt(c.cwnd-acked+c.cfg.MSS, c.cfg.MSS)
-			}
-		} else {
-			c.dupAcks = 0
-			c.growCwnd(acked)
+		if c.cc.OnAck(c.ccEvent(acked, ackOff)) == CcRetransmit {
+			// Partial ack during recovery: retransmit the next hole
+			// (NewReno).
+			c.retransmitOne()
 		}
 		c.restartRTO()
 		if c.cb.OnAcked != nil {
@@ -483,42 +497,17 @@ func (c *Conn) processAck(seg *packet.Segment) {
 		// Duplicate ACK: data outstanding, no payload, no window
 		// change, window open (zero-window probe replies must not
 		// masquerade as loss signals).
-		c.dupAcks++
 		c.Stats.DupAcksSeen++
-		if c.inRecovery {
-			c.cwnd += c.cfg.MSS // inflation
-		} else if c.dupAcks == 3 {
-			c.enterRecovery()
+		if c.cc.OnDupAck(c.ccEvent(0, ackOff)) == CcRetransmit {
+			c.Stats.FastRetransmit++
+			c.retransmitOne()
+			c.restartRTO()
 		}
 	}
 	if finConsumed && c.finSent && c.sndUna == c.finAt && c.state != StateClosed {
 		c.stopTimer(&c.rtoTimer)
 		c.teardown()
 	}
-}
-
-func (c *Conn) growCwnd(acked int) {
-	if c.cwnd < c.ssthresh {
-		c.cwnd += minInt(acked, c.cfg.MSS) // slow start
-		return
-	}
-	// Congestion avoidance: one MSS per cwnd of acked bytes.
-	c.cwndAcc += acked
-	if c.cwndAcc >= c.cwnd {
-		c.cwndAcc -= c.cwnd
-		c.cwnd += c.cfg.MSS
-	}
-}
-
-func (c *Conn) enterRecovery() {
-	flight := int(c.sndNxt - c.sndUna)
-	c.ssthresh = maxInt(flight/2, 2*c.cfg.MSS)
-	c.cwnd = c.ssthresh + 3*c.cfg.MSS
-	c.inRecovery = true
-	c.recoverPt = c.sndNxt
-	c.Stats.FastRetransmit++
-	c.retransmitOne()
-	c.restartRTO()
 }
 
 // retransmitOne resends the segment at sndUna.
@@ -545,11 +534,10 @@ func (c *Conn) trySend() {
 	// in the paper demonstrably skip this — the Figure 9 ablation.
 	if c.cfg.IdleReset && c.sndNxt == c.sndUna && c.lastSendAt > 0 {
 		if idle := c.host.sch.Now() - c.lastSendAt; idle > c.rto {
-			c.cwnd = minInt(c.cwnd, c.cfg.InitCwndSegs*c.cfg.MSS)
-			c.cwndAcc = 0
+			c.cc.OnIdle(c.host.sch.Now())
 		}
 	}
-	wnd := minInt(c.cwnd, c.sndWnd)
+	wnd := minInt(c.cc.Cwnd(), c.sndWnd)
 	for {
 		flight := int(c.sndNxt - c.sndUna)
 		avail := c.sndBuf.Len() - c.sndNxt
@@ -690,12 +678,7 @@ func (c *Conn) onRTO() {
 		return
 	}
 	c.Stats.Timeouts++
-	flight := int(c.sndNxt - c.sndUna)
-	c.ssthresh = maxInt(flight/2, 2*c.cfg.MSS)
-	c.cwnd = c.cfg.MSS
-	c.cwndAcc = 0
-	c.dupAcks = 0
-	c.inRecovery = false
+	c.cc.OnRTO(c.ccEvent(0, c.sndUna))
 	c.rtoBackoff++
 	if c.rtoBackoff > 10 {
 		// Give up as a real stack eventually would.

@@ -25,6 +25,10 @@ type Host struct {
 	// beyond Deliver (out-of-order queue).
 	pool     *packet.Pool
 	retained bool
+
+	// acceptCfg, when set, rewrites the listener config per accepted
+	// connection (see SetAcceptConfig).
+	acceptCfg func(peer packet.Endpoint, cfg Config) Config
 }
 
 type listener struct {
@@ -96,6 +100,16 @@ func (h *Host) ConnCount() int {
 	return n
 }
 
+// SetAcceptConfig installs a hook that rewrites the listener's Config
+// for each accepted connection, keyed by the connecting peer. It is
+// how a fleet serves different congestion controllers to different
+// clients from one listener (the peer address encodes the client
+// index). The hook runs before the Conn is created, so every field —
+// including CC — takes effect from the SYN-ACK on.
+func (h *Host) SetAcceptConfig(hook func(peer packet.Endpoint, cfg Config) Config) {
+	h.acceptCfg = hook
+}
+
 // Listen registers an accept callback for a local port. The callback
 // runs when a SYN arrives, before the handshake completes, so the
 // application can install Callbacks in time for OnConnected.
@@ -152,7 +166,11 @@ func (h *Host) dispatch(seg *packet.Segment) {
 		if !ok {
 			return // no RST machinery needed for the simulations
 		}
-		c := newConn(h, l.cfg, seg.Dst, seg.Src)
+		cfg := l.cfg
+		if h.acceptCfg != nil {
+			cfg = h.acceptCfg(seg.Src, cfg)
+		}
+		c := newConn(h, cfg, seg.Dst, seg.Src)
 		c.iss = h.iss()
 		c.irs = seg.Seq
 		c.sndWnd = seg.Window

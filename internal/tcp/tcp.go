@@ -46,6 +46,10 @@ type Config struct {
 	// servers do NOT do this (Section 5.1.5), so the default is false;
 	// the ablation benches flip it.
 	IdleReset bool
+	// CC selects the congestion controller: "reno" (default, also the
+	// empty string), "cubic" or "bbr". Validate names with ValidCC;
+	// an unknown name panics at connection creation.
+	CC string
 }
 
 // Defaults returns the configuration used unless a player or service
