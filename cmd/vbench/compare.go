@@ -13,8 +13,11 @@ import (
 
 // Benchmark comparison: `vbench -compare old.json new.json` renders a
 // benchstat-style delta table over two BENCH_<n>.json reports and, with
-// -fail-allocs <pct>, exits non-zero when any benchmark's allocs/op
-// regresses past the threshold — the CI perf-smoke gate.
+// -fail-allocs / -fail-bytes <pct>, exits non-zero when any
+// benchmark's allocs/op or B/op regresses past the threshold — the CI
+// perf-smoke gate. The fleet per-client columns divide both reports by
+// the same client count, so the B/op gate is exactly the B/op/client
+// gate for the BenchmarkFleet rows.
 
 // loadReport reads one BENCH_<n>.json file.
 func loadReport(path string) (Report, error) {
@@ -87,10 +90,11 @@ func fmtCount(v float64) string {
 }
 
 // compareReports renders the delta table and reports whether any
-// benchmark's allocs/op regression exceeds failAllocsPct (a
-// non-positive threshold never fails). only, when non-nil, restricts
-// the comparison to matching benchmark names.
-func compareReports(oldRep, newRep Report, only *regexp.Regexp, failAllocsPct float64) (string, bool) {
+// benchmark's allocs/op regression exceeds failAllocsPct or its B/op
+// regression exceeds failBytesPct (a non-positive threshold never
+// fails). only, when non-nil, restricts the comparison to matching
+// benchmark names.
+func compareReports(oldRep, newRep Report, only *regexp.Regexp, failAllocsPct, failBytesPct float64) (string, bool) {
 	newIdx := map[string]*Result{}
 	for i := range newRep.Benchmarks {
 		newIdx[newRep.Benchmarks[i].Name] = &newRep.Benchmarks[i]
@@ -103,6 +107,8 @@ func compareReports(oldRep, newRep Report, only *regexp.Regexp, failAllocsPct fl
 
 	worst := math.Inf(-1)
 	worstName := ""
+	worstBytes := math.Inf(-1)
+	worstBytesName := ""
 	row := func(name string, o, n *Result, div float64) {
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t\n",
 			name,
@@ -131,6 +137,9 @@ func compareReports(oldRep, newRep Report, only *regexp.Regexp, failAllocsPct fl
 		if d := pct(float64(o.AllocsPerOp), float64(n.AllocsPerOp)); !math.IsNaN(d) && d > worst {
 			worst, worstName = d, o.Name
 		}
+		if d := pct(float64(o.BytesPerOp), float64(n.BytesPerOp)); !math.IsNaN(d) && d > worstBytes {
+			worstBytes, worstBytesName = d, o.Name
+		}
 	}
 	for i := range newRep.Benchmarks {
 		n := &newRep.Benchmarks[i]
@@ -157,13 +166,20 @@ func compareReports(oldRep, newRep Report, only *regexp.Regexp, failAllocsPct fl
 			fail = true
 		}
 	}
+	if !math.IsInf(worstBytes, -1) {
+		fmt.Fprintf(&b, "worst B/op change: %+.1f%% (%s)\n", worstBytes, worstBytesName)
+		if failBytesPct > 0 && worstBytes > failBytesPct {
+			fmt.Fprintf(&b, "FAIL: B/op regression exceeds %.1f%%\n", failBytesPct)
+			fail = true
+		}
+	}
 	return b.String(), fail
 }
 
 // runCompare is the -compare entry point; returns the process exit code.
-func runCompare(args []string, onlyPat string, failAllocsPct float64, out *os.File) int {
+func runCompare(args []string, onlyPat string, failAllocsPct, failBytesPct float64, out *os.File) int {
 	if len(args) != 2 {
-		fmt.Fprintln(os.Stderr, "vbench: -compare needs exactly two report paths: vbench -compare [-only re] [-fail-allocs pct] old.json new.json")
+		fmt.Fprintln(os.Stderr, "vbench: -compare needs exactly two report paths: vbench -compare [-only re] [-fail-allocs pct] [-fail-bytes pct] old.json new.json")
 		return 2
 	}
 	var only *regexp.Regexp
@@ -184,7 +200,7 @@ func runCompare(args []string, onlyPat string, failAllocsPct float64, out *os.Fi
 		fmt.Fprintln(os.Stderr, "vbench:", err)
 		return 2
 	}
-	table, fail := compareReports(oldRep, newRep, only, failAllocsPct)
+	table, fail := compareReports(oldRep, newRep, only, failAllocsPct, failBytesPct)
 	fmt.Fprint(out, table)
 	if fail {
 		return 1

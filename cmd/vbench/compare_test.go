@@ -19,7 +19,7 @@ func TestCompareDeltaTable(t *testing.T) {
 		Result{Name: "BenchmarkSingleSession", NsPerOp: 15e6, BytesPerOp: 400_000, AllocsPerOp: 900},
 		Result{Name: "BenchmarkFleet/clients=1024", NsPerOp: 8e9, BytesPerOp: 150e6, AllocsPerOp: 180_000},
 	)
-	table, fail := compareReports(oldRep, newRep, nil, 0)
+	table, fail := compareReports(oldRep, newRep, nil, 0, 0)
 	if fail {
 		t.Fatal("fail with no threshold set")
 	}
@@ -46,20 +46,47 @@ func TestCompareDeltaTable(t *testing.T) {
 func TestCompareFailAllocsThreshold(t *testing.T) {
 	oldRep := rep(Result{Name: "BenchmarkX", NsPerOp: 1e6, AllocsPerOp: 100})
 	newRep := rep(Result{Name: "BenchmarkX", NsPerOp: 1e6, AllocsPerOp: 130})
-	table, fail := compareReports(oldRep, newRep, nil, 25)
+	table, fail := compareReports(oldRep, newRep, nil, 25, 0)
 	if !fail {
 		t.Fatalf("+30%% allocs must fail a 25%% gate:\n%s", table)
 	}
 	if !strings.Contains(table, "FAIL: allocs/op regression exceeds 25.0%") {
 		t.Fatalf("missing FAIL line:\n%s", table)
 	}
-	if _, fail := compareReports(oldRep, newRep, nil, 35); fail {
+	if _, fail := compareReports(oldRep, newRep, nil, 35, 0); fail {
 		t.Fatal("+30% allocs must pass a 35% gate")
 	}
 	// Improvements never trip the gate.
 	better := rep(Result{Name: "BenchmarkX", NsPerOp: 1e6, AllocsPerOp: 50})
-	if _, fail := compareReports(oldRep, better, nil, 25); fail {
+	if _, fail := compareReports(oldRep, better, nil, 25, 0); fail {
 		t.Fatal("alloc improvement tripped the gate")
+	}
+}
+
+// TestCompareFailBytesThreshold pins the fleet-memory gate: a B/op
+// regression past the threshold fails the compare even when allocs/op
+// is flat. Because the per-client rows divide both reports by the same
+// client count, this is exactly the B/op/client gate for the
+// BenchmarkFleet/clients=N rows.
+func TestCompareFailBytesThreshold(t *testing.T) {
+	oldRep := rep(Result{Name: "BenchmarkFleet/clients=1024", NsPerOp: 1e9, BytesPerOp: 100e6, AllocsPerOp: 100})
+	newRep := rep(Result{Name: "BenchmarkFleet/clients=1024", NsPerOp: 1e9, BytesPerOp: 130e6, AllocsPerOp: 100})
+	table, fail := compareReports(oldRep, newRep, nil, 0, 25)
+	if !fail {
+		t.Fatalf("+30%% B/op must fail a 25%% gate:\n%s", table)
+	}
+	if !strings.Contains(table, "FAIL: B/op regression exceeds 25.0%") {
+		t.Fatalf("missing FAIL line:\n%s", table)
+	}
+	if !strings.Contains(table, "worst B/op change: +30.0% (BenchmarkFleet/clients=1024)") {
+		t.Fatalf("missing worst-B/op summary:\n%s", table)
+	}
+	if _, fail := compareReports(oldRep, newRep, nil, 0, 35); fail {
+		t.Fatal("+30% B/op must pass a 35% gate")
+	}
+	better := rep(Result{Name: "BenchmarkFleet/clients=1024", NsPerOp: 1e9, BytesPerOp: 20e6, AllocsPerOp: 100})
+	if _, fail := compareReports(oldRep, better, nil, 0, 25); fail {
+		t.Fatal("B/op improvement tripped the gate")
 	}
 }
 
@@ -72,7 +99,7 @@ func TestCompareOnlyFilter(t *testing.T) {
 		Result{Name: "BenchmarkKeep", NsPerOp: 2e6, AllocsPerOp: 10},
 		Result{Name: "BenchmarkSkip", NsPerOp: 1e6, AllocsPerOp: 100},
 	)
-	table, fail := compareReports(oldRep, newRep, regexp.MustCompile("Keep"), 25)
+	table, fail := compareReports(oldRep, newRep, regexp.MustCompile("Keep"), 25, 0)
 	if fail {
 		t.Fatalf("filtered-out regression tripped the gate:\n%s", table)
 	}
@@ -93,7 +120,7 @@ func TestCompareMissingBenchmarks(t *testing.T) {
 		Result{Name: "BenchmarkBoth", NsPerOp: 1e6, AllocsPerOp: 10},
 		Result{Name: "BenchmarkNew", NsPerOp: 1e6, AllocsPerOp: 10},
 	)
-	table, fail := compareReports(oldRep, newRep, nil, 25)
+	table, fail := compareReports(oldRep, newRep, nil, 25, 0)
 	if fail {
 		t.Fatalf("unchanged benchmark tripped the gate:\n%s", table)
 	}
@@ -108,7 +135,7 @@ func TestCompareMissingBenchmarks(t *testing.T) {
 func TestCompareZeroBaseline(t *testing.T) {
 	oldRep := rep(Result{Name: "BenchmarkZ", NsPerOp: 1e6})
 	newRep := rep(Result{Name: "BenchmarkZ", NsPerOp: 1e6, AllocsPerOp: 50})
-	table, fail := compareReports(oldRep, newRep, nil, 25)
+	table, fail := compareReports(oldRep, newRep, nil, 25, 0)
 	if fail {
 		t.Fatalf("zero-baseline allocs must not trip the gate:\n%s", table)
 	}

@@ -34,14 +34,23 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds every custom b.ReportMetric column verbatim
+	// (unit → value): the fleet benchmarks report per-client figures
+	// (`B/op/client`, `ns/op/client`, `pkts/client`) that the standard
+	// three columns cannot carry.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the BENCH_<n>.json schema.
 type Report struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	NumCPU      int      `json:"num_cpu"`
-	Command     string   `json:"command"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	Command     string `json:"command"`
+	// Notes carries free-form context that the benchmark columns
+	// cannot (e.g. the wall clock of a fleet run too large for
+	// `go test -bench`).
+	Notes       string   `json:"notes,omitempty"`
 	WallSeconds float64  `json:"wall_seconds"`
 	Benchmarks  []Result `json:"benchmarks"`
 }
@@ -78,6 +87,15 @@ func parse(r io.Reader, echo io.Writer) []Result {
 				res.BytesPerOp, _ = strconv.ParseInt(cols[i], 10, 64)
 			case "allocs/op":
 				res.AllocsPerOp, _ = strconv.ParseInt(cols[i], 10, 64)
+			default:
+				v, err := strconv.ParseFloat(cols[i], 64)
+				if err != nil {
+					continue
+				}
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[cols[i+1]] = v
 			}
 		}
 		out = append(out, res)
@@ -107,13 +125,15 @@ func main() {
 	stdin := flag.Bool("stdin", false, "parse `go test -bench` output from stdin instead of running it")
 	out := flag.String("out", "", "output path (default BENCH_<n>.json)")
 	stamp := flag.String("stamp", "", "override generated_at (RFC3339) so reports diff reproducibly in CI")
+	note := flag.String("note", "", "free-form notes field recorded in the report")
 	compare := flag.Bool("compare", false, "compare two BENCH_<n>.json files (positional: old.json new.json) and print a delta table")
 	only := flag.String("only", "", "with -compare: restrict to benchmarks matching this regex")
 	failAllocs := flag.Float64("fail-allocs", 0, "with -compare: exit 1 if any benchmark's allocs/op regresses by more than this percent")
+	failBytes := flag.Float64("fail-bytes", 0, "with -compare: exit 1 if any benchmark's B/op (and so its per-client column) regresses by more than this percent")
 	flag.Parse()
 
 	if *compare {
-		os.Exit(runCompare(flag.Args(), *only, *failAllocs, os.Stdout))
+		os.Exit(runCompare(flag.Args(), *only, *failAllocs, *failBytes, os.Stdout))
 	}
 
 	path := *out
@@ -129,6 +149,7 @@ func main() {
 		GeneratedAt: generatedAt,
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
+		Notes:       *note,
 	}
 
 	start := time.Now()

@@ -11,7 +11,8 @@ import (
 // rely on: `go test -bench` lines carry arbitrary extra b.ReportMetric
 // columns (`<value> <unit>` pairs like ns/op/client) and the parser
 // must extract ns/op, B/op and allocs/op without being confused by
-// them — or by their position relative to the standard columns.
+// them — or by their position relative to the standard columns — while
+// recording the custom columns verbatim in Result.Metrics.
 func TestParseCustomMetricColumns(t *testing.T) {
 	out := `goos: linux
 goarch: amd64
@@ -24,7 +25,8 @@ ok  	repro	92.1s
 	got := parse(strings.NewReader(out), nil)
 	want := []Result{
 		{Name: "BenchmarkSingleSession", Iterations: 36, NsPerOp: 31092341, BytesPerOp: 804416, AllocsPerOp: 1045},
-		{Name: "BenchmarkFleet/clients=4096", Iterations: 1, NsPerOp: 28712345678, BytesPerOp: 498000000, AllocsPerOp: 401234},
+		{Name: "BenchmarkFleet/clients=4096", Iterations: 1, NsPerOp: 28712345678, BytesPerOp: 498000000, AllocsPerOp: 401234,
+			Metrics: map[string]float64{"ns/op/client": 7009.6, "B/op/client": 122000, "pkts/client": 3456}},
 		{Name: "BenchmarkNoMem", Iterations: 100, NsPerOp: 123456},
 	}
 	if !reflect.DeepEqual(got, want) {

@@ -67,6 +67,8 @@ func main() {
 	distributed := flag.Int("distributed", 0, "fork the run across N OS processes (merged result is bit-identical to -distributed 0)")
 	cellRange := flag.String("cells", "", "child mode: run cells lo:hi and stream serialized per-cell results to stdout")
 	resultOut := flag.String("result-out", "", "write the serialized FleetResult to this file (bit-identical across -workers/-shards/-distributed)")
+	freshWorlds := flag.Bool("fresh-worlds", false, "build a fresh cell world per cell instead of recycling one per worker (slow; results are bit-identical either way)")
+	memstats := flag.Bool("memstats", false, "print Go runtime memory statistics (HeapAlloc/TotalAlloc/NumGC) after the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file (taken after the run)")
 	flag.Parse()
@@ -115,6 +117,7 @@ func main() {
 		UtilBin:  time.Duration(*bin * float64(time.Second)),
 		Arrival:  scenario.Arrival{Kind: kind, Window: time.Duration(*window * float64(time.Second))},
 	}
+	f.FreshWorlds = *freshWorlds
 	f.Tree.ClientsPerAgg = *perAgg
 	f.Tree.Access.Down = netem.Bandwidth(*accessDown) * netem.Mbps
 	f.Tree.Agg.Down = netem.Bandwidth(*aggDown) * netem.Mbps
@@ -230,6 +233,12 @@ func main() {
 		}
 		fmt.Printf("[result: %d bytes -> %s]\n", len(data), *resultOut)
 	}
+	if *memstats {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		fmt.Printf("[memstats: heap %.1f MB, total alloc %.1f MB, gc %d]\n",
+			float64(ms.HeapAlloc)/(1<<20), float64(ms.TotalAlloc)/(1<<20), ms.NumGC)
+	}
 	fmt.Printf("[fleet completed in %v]\n", time.Since(start).Round(time.Millisecond))
 }
 
@@ -274,6 +283,9 @@ func runDistributed(f scenario.Fleet, n, workers int, mix, down, ccMix, aqm stri
 	}
 	if down != "" {
 		base = append(base, "-down", down)
+	}
+	if f.FreshWorlds {
+		base = append(base, "-fresh-worlds")
 	}
 	if ccMix != "" {
 		base = append(base, "-cc", ccMix)

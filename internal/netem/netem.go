@@ -271,6 +271,40 @@ func NewLink(sch *sim.Scheduler, rate Bandwidth, delay time.Duration, queueBytes
 // AddTap registers a capture tap on the link.
 func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
 
+// Reset returns the link to the state NewLink produces with the given
+// parameters, keeping the ring buffers and tap slice backing storage.
+// Queued and in-flight packets are discarded, counters zeroed, taps
+// removed, and any Dynamics-applied mutations (rate, delay, loss,
+// AQM, outage) overwritten. The destination receiver is kept — wiring
+// is topology, not state; callers that re-wire set it separately. The
+// scheduler the link schedules on must be Reset in the same pass:
+// a stale pump timer surviving in the scheduler would misfire.
+func (l *Link) Reset(rate Bandwidth, delay time.Duration, queueBytes int, loss LossModel, aqm AQM) {
+	if loss == nil {
+		loss = NoLoss{}
+	}
+	l.rate = rate
+	l.delay = delay
+	l.queueCap = queueBytes
+	l.queued = 0
+	l.busyUntil = 0
+	l.loss = loss
+	l.aqm = aqm
+	l.blocked = false
+	clear(l.taps)
+	l.taps = l.taps[:0]
+	l.drains.reset()
+	l.flights.reset()
+	l.armed = false
+	l.armSeq = 0
+	l.armGen = 0
+	l.Sent = 0
+	l.Dropped = 0
+	l.Bytes = 0
+	l.OutageDrops = 0
+	l.AqmDrops = 0
+}
+
 // SetLoss replaces the loss model (used by failure-injection tests and
 // Dynamics timelines).
 func (l *Link) SetLoss(m LossModel) {

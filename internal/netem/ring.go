@@ -29,6 +29,18 @@ func (r *ring[T]) grow() {
 	r.head = 0
 }
 
+// reset empties the ring in place, zeroing the live slots so pointer
+// fields do not pin garbage; the buffer is kept for reuse.
+func (r *ring[T]) reset() {
+	var zero T
+	mask := len(r.buf) - 1
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)&mask] = zero
+	}
+	r.head = 0
+	r.n = 0
+}
+
 // front returns a pointer to the first element; r must be non-empty.
 func (r *ring[T]) front() *T { return &r.buf[r.head] }
 

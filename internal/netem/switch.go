@@ -21,6 +21,13 @@ func NewSwitch() *Switch {
 	return &Switch{routes: make(map[[4]byte]Receiver)}
 }
 
+// Reset drops every route and zeroes the unrouted counter, keeping
+// the map's backing storage for reuse.
+func (s *Switch) Reset() {
+	clear(s.routes)
+	s.Unrouted = 0
+}
+
 // Route registers the receiver for a destination address.
 func (s *Switch) Route(addr [4]byte, r Receiver) { s.routes[addr] = r }
 

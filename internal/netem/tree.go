@@ -100,16 +100,20 @@ type Tree struct {
 	// CoreDown and CoreUp are the shared core links (server side).
 	CoreDown, CoreUp *Link
 	// AggDown and AggUp are the per-group aggregation links, indexed
-	// by group; they grow as clients attach.
+	// by group; they grow as clients attach. After a Reset the slices
+	// may be longer than the active population — Groups() bounds the
+	// live prefix.
 	AggDown, AggUp []*Link
 	// AccessDown and AccessUp are the per-client last-mile links,
-	// indexed by attach order.
+	// indexed by attach order; Clients() bounds the live prefix.
 	AccessDown, AccessUp []*Link
 
-	cfg     TreeConfig
-	sch     *sim.Scheduler
-	coreSW  *Switch   // routes client addresses to their agg down link
-	groupSW []*Switch // routes client addresses to their access down link
+	cfg      TreeConfig
+	sch      *sim.Scheduler
+	coreSW   *Switch   // routes client addresses to their agg down link
+	groupSW  []*Switch // routes client addresses to their access down link
+	nClients int       // attached clients; link slots beyond are recycled spares
+	nGroups  int       // active aggregation groups
 }
 
 // NewTree builds the core tier; aggregation and access links are
@@ -128,45 +132,81 @@ func NewTree(sch *sim.Scheduler, cfg TreeConfig, server Receiver) *Tree {
 func (t *Tree) Config() TreeConfig { return t.cfg }
 
 // Clients returns how many clients have been attached.
-func (t *Tree) Clients() int { return len(t.AccessDown) }
+func (t *Tree) Clients() int { return t.nClients }
 
-// Groups returns how many aggregation links exist so far.
-func (t *Tree) Groups() int { return len(t.AggDown) }
+// Groups returns how many aggregation links are active.
+func (t *Tree) Groups() int { return t.nGroups }
 
 // Group returns the aggregation group of client i (attach order).
 func (t *Tree) Group(i int) int { return i / t.cfg.ClientsPerAgg }
 
-// Attach wires a new client under the tree: it creates the client's
-// access link pair, lazily creates the aggregation group it falls
-// into (attach order fills groups sequentially, ClientsPerAgg at a
-// time), routes the address at both switch levels, and returns the
-// access uplink the client must transmit on (client.SetLink).
+// Attach wires a new client under the tree: it creates (or, after a
+// Reset, recycles) the client's access link pair, lazily creates the
+// aggregation group it falls into (attach order fills groups
+// sequentially, ClientsPerAgg at a time), routes the address at both
+// switch levels, and returns the access uplink the client must
+// transmit on (client.SetLink).
 func (t *Tree) Attach(addr [4]byte, client Receiver) *Link {
-	g := t.Group(len(t.AccessDown))
-	if g == len(t.AggDown) {
-		gsw := NewSwitch()
-		aggDown := NewLink(t.sch, t.cfg.Agg.Down, t.cfg.Agg.Delay, t.cfg.Agg.Queue, RandomLoss{Rate: t.cfg.Agg.Loss}, gsw)
-		aggDown.SetAQM(t.cfg.Agg.AQM.New(t.cfg.Agg.Queue))
-		aggUp := NewLink(t.sch, t.cfg.Agg.Up, t.cfg.Agg.Delay, t.cfg.Agg.Queue, nil, t.CoreUp)
-		t.groupSW = append(t.groupSW, gsw)
-		t.AggDown = append(t.AggDown, aggDown)
-		t.AggUp = append(t.AggUp, aggUp)
+	g := t.Group(t.nClients)
+	if g == t.nGroups {
+		if g == len(t.AggDown) {
+			gsw := NewSwitch()
+			aggDown := NewLink(t.sch, t.cfg.Agg.Down, t.cfg.Agg.Delay, t.cfg.Agg.Queue, RandomLoss{Rate: t.cfg.Agg.Loss}, gsw)
+			aggDown.SetAQM(t.cfg.Agg.AQM.New(t.cfg.Agg.Queue))
+			aggUp := NewLink(t.sch, t.cfg.Agg.Up, t.cfg.Agg.Delay, t.cfg.Agg.Queue, nil, t.CoreUp)
+			t.groupSW = append(t.groupSW, gsw)
+			t.AggDown = append(t.AggDown, aggDown)
+			t.AggUp = append(t.AggUp, aggUp)
+		}
+		t.nGroups++
 	}
-	accessDown := NewLink(t.sch, t.cfg.Access.Down, t.cfg.Access.Delay, t.cfg.Access.Queue, RandomLoss{Rate: t.cfg.Access.Loss}, client)
-	accessDown.SetAQM(t.cfg.Access.AQM.New(t.cfg.Access.Queue))
-	accessUp := NewLink(t.sch, t.cfg.Access.Up, t.cfg.Access.Delay, t.cfg.Access.Queue, nil, t.AggUp[g])
-	t.AccessDown = append(t.AccessDown, accessDown)
-	t.AccessUp = append(t.AccessUp, accessUp)
-	t.groupSW[g].Route(addr, accessDown)
+	j := t.nClients
+	var accessUp *Link
+	if j == len(t.AccessDown) {
+		accessDown := NewLink(t.sch, t.cfg.Access.Down, t.cfg.Access.Delay, t.cfg.Access.Queue, RandomLoss{Rate: t.cfg.Access.Loss}, client)
+		accessDown.SetAQM(t.cfg.Access.AQM.New(t.cfg.Access.Queue))
+		accessUp = NewLink(t.sch, t.cfg.Access.Up, t.cfg.Access.Delay, t.cfg.Access.Queue, nil, t.AggUp[g])
+		t.AccessDown = append(t.AccessDown, accessDown)
+		t.AccessUp = append(t.AccessUp, accessUp)
+	} else {
+		t.AccessDown[j].dst = client
+		accessUp = t.AccessUp[j]
+	}
+	t.nClients++
+	t.groupSW[g].Route(addr, t.AccessDown[j])
 	t.coreSW.Route(addr, t.AggDown[g])
 	return accessUp
+}
+
+// Reset returns the tree to its just-built state while keeping every
+// link, switch and ring allocation: the core pair and every link ever
+// created are Reset (fresh AQM instances, Dynamics mutations undone,
+// taps and counters cleared), routes dropped, and the attach cursors
+// rewound, so the next population attaches into recycled link slots.
+// The shared scheduler must be Reset in the same pass.
+func (t *Tree) Reset() {
+	cfg := t.cfg
+	t.CoreDown.Reset(cfg.Core.Down, cfg.Core.Delay, cfg.Core.Queue, RandomLoss{Rate: cfg.Core.Loss}, cfg.Core.AQM.New(cfg.Core.Queue))
+	t.CoreUp.Reset(cfg.Core.Up, cfg.Core.Delay, cfg.Core.Queue, nil, nil)
+	for g := range t.AggDown {
+		t.AggDown[g].Reset(cfg.Agg.Down, cfg.Agg.Delay, cfg.Agg.Queue, RandomLoss{Rate: cfg.Agg.Loss}, cfg.Agg.AQM.New(cfg.Agg.Queue))
+		t.AggUp[g].Reset(cfg.Agg.Up, cfg.Agg.Delay, cfg.Agg.Queue, nil, nil)
+		t.groupSW[g].Reset()
+	}
+	for j := range t.AccessDown {
+		t.AccessDown[j].Reset(cfg.Access.Down, cfg.Access.Delay, cfg.Access.Queue, RandomLoss{Rate: cfg.Access.Loss}, cfg.Access.AQM.New(cfg.Access.Queue))
+		t.AccessUp[j].Reset(cfg.Access.Up, cfg.Access.Delay, cfg.Access.Queue, nil, nil)
+	}
+	t.coreSW.Reset()
+	t.nClients = 0
+	t.nGroups = 0
 }
 
 // Unrouted sums the unrouted-packet counters across every switch in
 // the tree (0 in a healthy run).
 func (t *Tree) Unrouted() int {
 	n := t.coreSW.Unrouted
-	for _, sw := range t.groupSW {
+	for _, sw := range t.groupSW[:t.nGroups] {
 		n += sw.Unrouted
 	}
 	return n
@@ -176,10 +216,10 @@ func (t *Tree) Unrouted() int {
 // the aggregate loss accounting fleet results report.
 func (t *Tree) DroppedAtTier() (core, agg, access int) {
 	core = t.CoreDown.Dropped
-	for _, l := range t.AggDown {
+	for _, l := range t.AggDown[:t.nGroups] {
 		agg += l.Dropped
 	}
-	for _, l := range t.AccessDown {
+	for _, l := range t.AccessDown[:t.nClients] {
 		access += l.Dropped
 	}
 	return core, agg, access
@@ -190,10 +230,10 @@ func (t *Tree) DroppedAtTier() (core, agg, access int) {
 // separates policy drops from loss-model and hard-cap drops.
 func (t *Tree) AqmDroppedAtTier() (core, agg, access int) {
 	core = t.CoreDown.AqmDrops
-	for _, l := range t.AggDown {
+	for _, l := range t.AggDown[:t.nGroups] {
 		agg += l.AqmDrops
 	}
-	for _, l := range t.AccessDown {
+	for _, l := range t.AccessDown[:t.nClients] {
 		access += l.AqmDrops
 	}
 	return core, agg, access

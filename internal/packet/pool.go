@@ -19,8 +19,10 @@ package packet
 // A Pool is not safe for concurrent use; every simulation owns its own
 // (the runner gives each parallel session a private one).
 type Pool struct {
-	free []*Segment
-	slab []Segment // current slab; Get carves from the tail
+	free  []*Segment
+	slabs [][]Segment // every slab ever allocated, retained for Reset
+	cur   int         // slab Get carves from
+	off   int         // next uncarved index in slabs[cur]
 }
 
 // poolChunk is how many Segments one slab allocation carves into.
@@ -36,11 +38,15 @@ func (p *Pool) Get() *Segment {
 		*s = Segment{}
 		return s
 	}
-	if len(p.slab) == 0 {
-		p.slab = make([]Segment, poolChunk)
+	if p.cur == len(p.slabs) {
+		p.slabs = append(p.slabs, make([]Segment, poolChunk))
 	}
-	s := &p.slab[0]
-	p.slab = p.slab[1:]
+	s := &p.slabs[p.cur][p.off]
+	if p.off++; p.off == poolChunk {
+		p.cur++
+		p.off = 0
+	}
+	*s = Segment{}
 	return s
 }
 
@@ -52,4 +58,16 @@ func (p *Pool) Put(s *Segment) {
 		return
 	}
 	p.free = append(p.free, s)
+}
+
+// Reset reclaims every segment the pool has ever handed out, keeping
+// the slabs for reuse. Segments still referenced at reset time (e.g.
+// parked in an abandoned reassembly queue) are reclaimed wholesale —
+// the whole simulation that held them must be over. The free list is
+// dropped rather than kept: every slab slot is carveable again, so
+// keeping recycled pointers would hand out the same struct twice.
+func (p *Pool) Reset() {
+	p.free = p.free[:0]
+	p.cur = 0
+	p.off = 0
 }

@@ -54,14 +54,26 @@ type Arrival struct {
 // rng. The draw order is fixed, so a given (process, seed) pair always
 // produces the same schedule — scenario determinism hangs off this.
 func (a Arrival) Times(n int, rng *rand.Rand) []time.Duration {
+	return a.TimesInto(nil, n, rng)
+}
+
+// TimesInto is Times reusing dst's backing array when it is large
+// enough — the per-cell schedule scratch of a recycled fleet world.
+// The returned slice holds exactly the same values Times would.
+func (a Arrival) TimesInto(dst []time.Duration, n int, rng *rand.Rand) []time.Duration {
 	if n <= 0 {
-		return nil
+		return dst[:0]
 	}
 	window := a.Window
 	if window <= 0 {
 		window = 60 * time.Second
 	}
-	out := make([]time.Duration, n)
+	var out []time.Duration
+	if cap(dst) >= n {
+		out = dst[:n]
+	} else {
+		out = make([]time.Duration, n)
+	}
 	switch a.Kind {
 	case Staggered:
 		for i := range out {
@@ -94,6 +106,7 @@ func (a Arrival) Times(n int, rng *rand.Rand) []time.Duration {
 			out[i] = time.Duration(rng.Int63n(int64(span)))
 		}
 	default: // AllAtOnce: zeros
+		clear(out)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

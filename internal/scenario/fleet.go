@@ -9,11 +9,8 @@ import (
 	"repro/internal/media"
 	"repro/internal/netem"
 	"repro/internal/packet"
-	"repro/internal/player"
 	"repro/internal/runner"
-	"repro/internal/service"
 	"repro/internal/session"
-	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tcp"
 )
@@ -95,6 +92,12 @@ type Fleet struct {
 	// downstream link — the hook equivalence tests use to observe the
 	// raw packet stream next to the streaming accumulators.
 	ExtraCoreTap netem.Tap
+	// FreshWorlds is a diagnostic knob: build a fresh cell world for
+	// every cell instead of recycling one per worker. Results must be
+	// byte-identical either way — this is the baseline the
+	// fresh-vs-recycled equivalence suite (and `vfleet -fresh-worlds`)
+	// compares against. Slower and allocation-heavy; leave false.
+	FreshWorlds bool
 }
 
 // ParseMix parses a command-line strategy mix: entries of the form
@@ -536,87 +539,14 @@ func (r *FleetResult) finalize() {
 	}
 }
 
-// fleetWave bounds how many per-cell results exist at once: cells run
-// in waves on the runner pool and each wave is folded into the
-// accumulator before the next starts. A million-client fleet is ~31k
-// cells; waves keep the in-flight results O(fleetWave) while the fold
-// order stays the global cell order, so the batching is invisible in
-// the bytes.
-const fleetWave = 1024
-
-// runFleetCellRange runs cells [lo, hi) in waves and passes each
-// cell's result to emit in cell order. It is the shared engine of
-// RunFleet and the distributed child mode (which serializes each
-// result instead of folding it).
-func runFleetCellRange(o runner.Options, f Fleet, lo, hi int, emit func(cell int, r *FleetResult)) {
-	per := f.Tree.ClientsPerAgg
-	for base := lo; base < hi; base += fleetWave {
-		n := hi - base
-		if n > fleetWave {
-			n = fleetWave
-		}
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = base + i
-		}
-		wave := runner.Map(o, idx, func(_ int, c int) *FleetResult {
-			from := c * per
-			to := from + per
-			if to > f.Clients {
-				to = f.Clients
-			}
-			return runFleetCell(f, from, to)
-		})
-		for i, sh := range wave {
-			emit(idx[i], sh)
-		}
-	}
-}
-
-// RunFleet executes the fleet: cells fan out on the runner pool (each
-// cell one single-threaded simulation of one aggregation group on its
-// own tree) and their streaming statistics fold in cell order, so the
-// result is bit-identical for any worker count — and, because the cell
-// is the physical unit, for any shard or process count too.
-func RunFleet(o runner.Options, f Fleet) *FleetResult {
-	f = f.withDefaults()
-	if err := f.Validate(); err != nil {
-		panic("scenario: " + err.Error())
-	}
-	if f.ExtraCoreTap != nil {
-		// The extra tap is shared mutable state across cells: run them
-		// sequentially so it observes the packet stream in cell order.
-		o.Workers = 1
-	}
-	var res *FleetResult
-	runFleetCellRange(o, f, 0, f.cells(), func(_ int, sh *FleetResult) {
-		if res == nil {
-			res = sh
-			return
-		}
-		res.merge(sh)
-	})
-	res.finalize()
-	return res
-}
-
-// runFleetCell simulates global clients [from, to) — one aggregation
-// group — on its own tree.
-func runFleetCell(f Fleet, from, to int) *FleetResult {
-	n := to - from
-	sch := sim.NewScheduler(fleetCellSeed(f.Seed, from))
-	server := tcp.NewHost(sch, session.ServerAddr[0], session.ServerAddr[1], session.ServerAddr[2], session.ServerAddr[3])
-	tree := netem.NewTree(sch, f.Tree, server)
-	server.SetLink(tree.CoreDown)
-
-	// Streaming sinks only — every stack on the tree shares one
-	// segment pool, the same O(flows) memory regime sessions use.
-	pool := &packet.Pool{}
-	server.SetSegmentPool(pool)
-
-	res := &FleetResult{
+// newFleetResult builds an empty result shell for f: the sketches,
+// binned series and Exact buffers a cell (or the fleet accumulator)
+// folds into. cellWorld recycles these shells; merging a cell into a
+// fresh shell is exact, so the accumulator path produces the same
+// bytes the old adopt-first-cell fold did.
+func newFleetResult(f Fleet) *FleetResult {
+	r := &FleetResult{
 		Fleet:             f,
-		Clients:           n,
 		RateMbps:          stats.NewSketch(f.QuantErr),
 		StartupSec:        stats.NewSketch(f.QuantErr),
 		RebufCount:        stats.NewSketch(f.QuantErr),
@@ -631,120 +561,97 @@ func runFleetCell(f Fleet, from, to int) *FleetResult {
 		CoreBurst:         stats.NewSketch(f.QuantErr),
 	}
 	if f.Exact {
-		res.Exact = &FleetExact{}
+		r.Exact = &FleetExact{}
 	}
+	return r
+}
 
-	pattern := f.pattern()
-	kinds := make([]PlayerKind, n)
-	vids := make([]media.Video, n)
-	for j := 0; j < n; j++ {
-		kinds[j] = pattern[(from+j)%len(pattern)]
-		vids[j] = f.fleetVideo(from+j, kinds[j])
-	}
-	switch f.Mix[0].Player.Service() {
-	case session.YouTube:
-		service.NewYouTube(server, f.ServerTCP, vids)
-	case session.Netflix:
-		service.NewNetflix(server, f.ServerTCP, vids)
-	}
-	if len(f.CCMix) > 0 {
-		// Per-client server-side congestion control: the peer address
-		// encodes the global client index, so the assignment is the
-		// same no matter which cell, worker or process serves it.
-		ccmix := f.CCMix
-		server.SetAcceptConfig(func(peer packet.Endpoint, cfg tcp.Config) tcp.Config {
-			cfg.CC = ccmix[clientIndex(peer.Addr)%len(ccmix)]
-			return cfg
-		})
-	}
+// fleetWave bounds how many per-cell results exist at once: cells run
+// in waves on the runner pool and each wave is folded into the
+// accumulator before the next starts. A million-client fleet is ~31k
+// cells; waves keep the in-flight results O(fleetWave) while the fold
+// order stays the global cell order, so the batching is invisible in
+// the bytes.
+const fleetWave = 1024
 
-	tree.CoreDown.AddTap(utilTap{bins: []*stats.Binned{res.CoreUtil}})
-	if f.ExtraCoreTap != nil {
-		tree.CoreDown.AddTap(f.ExtraCoreTap)
+// runFleetCellRange runs cells [lo, hi) in waves and passes each
+// cell's result to emit in cell order. It is the shared engine of
+// RunFleet and the distributed child mode (which serializes each
+// result instead of folding it).
+//
+// Each pool worker keeps one cellWorld for the whole range, so a wave
+// reuses Workers worlds instead of constructing fleetWave of them; the
+// wave-sized result and producer arrays are allocated once and shells
+// return to their producing world after emit. Workers own disjoint
+// wave indexes (runner.MapN), so the per-index writes need no locks
+// and the emit order — global cell order — is untouched.
+func runFleetCellRange(o runner.Options, f Fleet, lo, hi int, emit func(cell int, r *FleetResult)) {
+	if hi <= lo {
+		return
 	}
-
-	starts := f.Arrival.Times(n, sch.Rand())
-	states := make([]clientState, n)
-	players := make([]player.Player, n)
-	perAgg := make([]*stats.Binned, 0, tree.Group(n-1)+1)
-	for j := 0; j < n; j++ {
-		j := j
-		addr := clientAddr(from + j)
-		host := tcp.NewHost(sch, addr[0], addr[1], addr[2], addr[3])
-		host.SetSegmentPool(pool)
-		host.SetLink(tree.Attach(addr, host))
-		// A freshly created aggregation link gets its burstiness
-		// series, the shared tier accumulator, and the fleet's
-		// dynamics timeline.
-		if g := tree.Group(j); g == len(perAgg) {
-			perAgg = append(perAgg, stats.NewBinned(f.UtilBin, f.Duration))
-			tree.AggDown[g].AddTap(utilTap{bins: []*stats.Binned{res.AggUtil, perAgg[g]}})
-			f.Down.Apply(sch, tree.AggDown[g])
+	per := f.Tree.ClientsPerAgg
+	waveCap := hi - lo
+	if waveCap > fleetWave {
+		waveCap = fleetWave
+	}
+	worlds := make([]*cellWorld, o.NumWorkers())
+	results := make([]*FleetResult, waveCap)
+	producers := make([]*cellWorld, waveCap)
+	for base := lo; base < hi; base += fleetWave {
+		n := hi - base
+		if n > fleetWave {
+			n = fleetWave
 		}
-		states[j] = clientState{start: starts[j], first: -1, util: res.AccessUtil}
-		tree.AccessDown[j].AddTap(&states[j])
-		env := &player.Env{Sch: sch, Host: host, Server: packet.Endpoint{Addr: session.ServerAddr, Port: 80}}
-		p := kinds[j].New()
-		players[j] = p
-		if starts[j] > 0 {
-			sch.At(starts[j], func() { p.Start(env, vids[j]) })
-		} else {
-			p.Start(env, vids[j])
-		}
-	}
-	res.Groups = tree.Groups()
-
-	sch.RunUntil(f.Duration)
-
-	for j := range states {
-		c := &states[j]
-		res.Downloaded += players[j].Downloaded()
-		q := players[j].QoE(sch.Now())
-		res.RebufCount.Add(float64(q.Rebuffers))
-		res.RebufSec.Add(q.RebufferTime.Seconds())
-		res.SwitchCount.Add(float64(q.Switches))
-		res.FetchedMbps.Add(q.MeanFetchedBps() / 1e6)
-		for len(res.RungSec) < len(q.RungSec) {
-			res.RungSec = append(res.RungSec, 0)
-		}
-		for r, sec := range q.RungSec {
-			res.RungSec[r] += sec
-		}
-		if c.first < 0 {
-			res.StarvedClients++
-			res.RateMbps.Add(0)
-			if res.Exact != nil {
-				res.Exact.RateMbps = append(res.Exact.RateMbps, 0)
+		runner.MapN(o, n, func(worker, i int) {
+			var w *cellWorld
+			if f.FreshWorlds {
+				w = newCellWorld(f)
+			} else {
+				w = worlds[worker]
+				if w == nil {
+					w = newCellWorld(f)
+					worlds[worker] = w
+				}
 			}
-			continue
+			from := (base + i) * per
+			to := from + per
+			if to > f.Clients {
+				to = f.Clients
+			}
+			results[i] = w.run(from, to)
+			producers[i] = w
+		})
+		for i := 0; i < n; i++ {
+			emit(base+i, results[i])
 		}
-		res.ActiveClients++
-		rate := 0.0
-		if c.last > c.first {
-			rate = float64(c.bytes) * 8 / (c.last - c.first).Seconds() / 1e6
-		}
-		startup := (c.first - c.start).Seconds()
-		res.RateMbps.Add(rate)
-		res.StartupSec.Add(startup)
-		res.ConcurrencyDeltas.Add(c.first, 1)
-		res.ConcurrencyDeltas.Add(c.last, -1)
-		if res.Exact != nil {
-			res.Exact.RateMbps = append(res.Exact.RateMbps, rate)
-			res.Exact.StartupSec = append(res.Exact.StartupSec, startup)
+		for i := 0; i < n; i++ {
+			producers[i].putResult(results[i])
+			results[i] = nil
+			producers[i] = nil
 		}
 	}
-	for _, b := range perAgg {
-		res.AggBurst.Add(stats.CV(b.From(f.Warmup)))
-	}
-	res.CoreBurst.Add(stats.CV(res.CoreUtil.From(f.Warmup)))
+}
 
-	res.CoreOffered = tree.CoreDown.Sent + tree.CoreDown.Dropped
-	core, agg, access := tree.DroppedAtTier()
-	res.CoreDropped = core
-	res.AggDropped = agg
-	res.AccessDropped = access
-	res.Unrouted = tree.Unrouted()
-	// InducedCoreLoss is derived once, in finalize, from the merged
-	// counters — it covers the single-cell case too.
+// RunFleet executes the fleet: cells fan out on the runner pool (each
+// cell one single-threaded simulation of one aggregation group on a
+// per-worker recycled cell world) and their streaming statistics fold
+// in cell order into a fresh accumulator, so the result is
+// bit-identical for any worker count — and, because the cell is the
+// physical unit, for any shard or process count too.
+func RunFleet(o runner.Options, f Fleet) *FleetResult {
+	f = f.withDefaults()
+	if err := f.Validate(); err != nil {
+		panic("scenario: " + err.Error())
+	}
+	if f.ExtraCoreTap != nil {
+		// The extra tap is shared mutable state across cells: run them
+		// sequentially so it observes the packet stream in cell order.
+		o.Workers = 1
+	}
+	res := newFleetResult(f)
+	runFleetCellRange(o, f, 0, f.cells(), func(_ int, sh *FleetResult) {
+		res.merge(sh)
+	})
+	res.finalize()
 	return res
 }

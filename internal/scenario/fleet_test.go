@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -289,6 +290,12 @@ func TestFleetValidate(t *testing.T) {
 		if err := f.Validate(); err == nil {
 			t.Fatalf("case %d: Validate accepted %+v", i, f)
 		}
+	}
+	// The mixed-service rejection must fire for the service reason
+	// specifically: a YouTube player and a Netflix player cannot share
+	// one server port, and the cell world builds exactly one service.
+	if err := bad[1].Validate(); err == nil || !strings.Contains(err.Error(), "spans services") {
+		t.Fatalf("mixed-service mix rejected for the wrong reason: %v", err)
 	}
 	ok := Fleet{Mix: []MixEntry{{Player: Flash, Weight: 1}}, Clients: 10}
 	if err := ok.Validate(); err != nil {

@@ -57,6 +57,11 @@ func NewCatalog(videos []media.Video) *Catalog {
 // Add registers one more entry.
 func (c *Catalog) Add(v media.Video) { c.vids[v.ID] = v }
 
+// Reset empties the catalog, keeping the map's capacity. Recycled cell
+// worlds refill per cell because video IDs encode the global client
+// index.
+func (c *Catalog) Reset() { clear(c.vids) }
+
 // Get looks an entry up.
 func (c *Catalog) Get(id int) (media.Video, bool) {
 	v, ok := c.vids[id]
@@ -94,6 +99,10 @@ func NewYouTube(host *tcp.Host, cfg tcp.Config, videos []media.Video) *YouTube {
 
 // AddVideo registers one more catalog entry.
 func (y *YouTube) AddVideo(v media.Video) { y.cat.Add(v) }
+
+// ResetCatalog empties the catalog for the next population. The
+// listener registration survives — it lives on the host.
+func (y *YouTube) ResetCatalog() { y.cat.Reset() }
 
 // handle serves /videoplayback/<id> (the legacy single-bitrate
 // resource, server-paced for Flash at default resolutions) and
@@ -273,6 +282,10 @@ func NewNetflix(host *tcp.Host, cfg tcp.Config, videos []media.Video) *Netflix {
 
 // AddVideo registers one more catalog entry.
 func (n *Netflix) AddVideo(v media.Video) { n.cat.Add(v) }
+
+// ResetCatalog empties the catalog for the next population. The
+// listener registration survives — it lives on the host.
+func (n *Netflix) ResetCatalog() { n.cat.Reset() }
 
 // FragmentBytes returns the byte size of one fragment at the given
 // ladder bitrate (bps), including its header.

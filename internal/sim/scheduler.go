@@ -126,6 +126,38 @@ func NewScheduler(seed int64) *Scheduler {
 	return &Scheduler{rng: rand.New(rand.NewSource(seed)), wbound: -1}
 }
 
+// Reset returns the scheduler to the state NewScheduler(seed) produces
+// while keeping every backing allocation — heap, timer slots, batch and
+// wheel-node storage — so a recycled scheduler runs the next simulation
+// without rebuilding its queues. Pending events are discarded (their
+// fn/task references released) and the rng is re-seeded. Outstanding
+// Timer handles must not be used across a Reset: slot generations
+// restart, so a stale handle could alias a fresh timer.
+func (s *Scheduler) Reset(seed int64) {
+	s.now = 0
+	s.seq = 0
+	s.cur = 0
+	clear(s.heap)
+	s.heap = s.heap[:0]
+	clear(s.slots)
+	s.slots = s.slots[:0]
+	s.free = s.free[:0]
+	s.rng = rand.New(rand.NewSource(seed))
+	s.stopped = false
+	clear(s.batch)
+	s.batch = s.batch[:0]
+	s.batchPos = 0
+	s.scratch = s.scratch[:0]
+	s.wheel = [wheelLevels][wheelSlots]int32{}
+	s.wbits = [wheelLevels][wheelSlots / 64]uint64{}
+	clear(s.wnodes)
+	s.wnodes = s.wnodes[:0]
+	s.wfree = s.wfree[:0]
+	s.wcount = 0
+	s.wcursor = 0
+	s.wbound = -1
+}
+
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
 

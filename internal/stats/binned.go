@@ -30,6 +30,12 @@ func NewBinned(width, horizon time.Duration) *Binned {
 	return &Binned{Width: width, Bins: make([]float64, n)}
 }
 
+// Reset zeroes every bin in place, keeping the backing slice and
+// geometry — the recycled-series counterpart of NewBinned.
+func (b *Binned) Reset() {
+	clear(b.Bins)
+}
+
 // idx clamps a timestamp into the bin range, so samples exactly at the
 // horizon (a delivery scheduled at the final instant) land in the last
 // bin instead of vanishing.

@@ -61,6 +61,19 @@ func NewSketch(relErr float64) *Sketch {
 	}
 }
 
+// Reset empties the sketch in place, keeping the bin map's backing
+// storage (and the RelErr geometry) so a recycled sketch accumulates
+// the next stream without rehashing. A reset sketch is
+// indistinguishable from NewSketch(s.RelErr).
+func (s *Sketch) Reset() {
+	clear(s.counts)
+	s.zeros = 0
+	s.n = 0
+	s.sum = 0
+	s.min = math.Inf(1)
+	s.max = math.Inf(-1)
+}
+
 // key returns the bin index covering x: the smallest k with
 // gamma^k >= x, so bin k spans (gamma^(k-1), gamma^k].
 func (s *Sketch) key(x float64) int {

@@ -94,18 +94,21 @@ func (c *Conn) Config() Config { return c.cfg }
 
 func newConn(h *Host, cfg Config, local, peer packet.Endpoint) *Conn {
 	cfg = cfg.withDefaults()
-	c := &Conn{
-		host:         h,
-		cfg:          cfg,
-		local:        local,
-		peer:         peer,
-		sndWnd:       cfg.MSS,     // until the peer advertises
-		rto:          time.Second, // RFC 6298 initial
-		rttSampleOff: -1,
-		finAt:        -1,
-		lastAdvW:     cfg.RecvBuf,
+	c := h.takeConn()
+	c.host = h
+	c.cfg = cfg
+	c.local = local
+	c.peer = peer
+	c.sndWnd = cfg.MSS  // until the peer advertises
+	c.rto = time.Second // RFC 6298 initial
+	c.rttSampleOff = -1
+	c.finAt = -1
+	c.lastAdvW = cfg.RecvBuf
+	// A recycled conn keeps its controller when the kind matches; Init
+	// fully resets it either way.
+	if c.cc == nil || c.cc.Name() != resolvedCC(cfg.CC) {
+		c.cc = newCongestionControl(cfg)
 	}
-	c.cc = newCongestionControl(cfg)
 	c.cc.Init(cfg, h.sch.Now())
 	return c
 }

@@ -29,6 +29,12 @@ type Host struct {
 	// acceptCfg, when set, rewrites the listener config per accepted
 	// connection (see SetAcceptConfig).
 	acceptCfg func(peer packet.Endpoint, cfg Config) Config
+
+	// Conn recycling (see SetConnPool). created tracks every conn drawn
+	// while a pool is attached, in creation order, so Reset returns
+	// them deterministically.
+	connPool *ConnPool
+	created  []*Conn
 }
 
 type listener struct {
